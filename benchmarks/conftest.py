@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+One :class:`ExperimentRunner` is shared across the whole benchmark
+session so the committed traces and per-configuration results are
+computed once and reused by every figure.
+
+Scale: ``REPRO_BENCH_SCALE`` (default 0.6) multiplies workload lengths;
+1.0 reproduces the numbers quoted in EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: marks a paper figure/table regeneration")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+    return ExperimentRunner(scale=scale)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered figure/table under a visible banner."""
+    def _emit(text: str) -> None:
+        print("\n" + "=" * 72)
+        print(text)
+        print("=" * 72)
+    return _emit

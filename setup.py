@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Offline-friendly shim: metadata lives in pyproject.toml; this file lets
+# `pip install -e .` use the legacy editable path on hosts without the
+# `wheel` package.
+setup()

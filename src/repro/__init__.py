@@ -1,0 +1,59 @@
+"""repro — reproduction of "Putting the Fill Unit to Work: Dynamic
+Optimizations for Trace Cache Microprocessors" (Friendly, Patel, Patt;
+MICRO-31, 1998).
+
+The package implements, from scratch, everything the paper's
+evaluation rests on:
+
+* a SimpleScalar-style ISA with assembler and functional machine
+  (:mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.machine`);
+* the memory hierarchy and branch prediction complex
+  (:mod:`repro.cache`, :mod:`repro.branch`);
+* the trace cache and fill unit with the paper's four dynamic trace
+  optimizations (:mod:`repro.tracecache`, :mod:`repro.fillunit`);
+* a 16-wide clustered trace-cache processor timing model
+  (:mod:`repro.core`);
+* fifteen synthetic benchmarks standing in for SPECint95 + UNIX apps
+  (:mod:`repro.workloads`), and the experiment harness regenerating
+  every table and figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import SimConfig, Simulator, workloads
+    from repro.fillunit.opts import OptimizationConfig
+
+    program = workloads.build("m88ksim")
+    simulator = Simulator(SimConfig.paper())
+    trace = simulator.trace_program(program)
+
+    baseline = simulator.run(trace, "m88ksim", "baseline")
+    optimized = Simulator(
+        SimConfig.paper(OptimizationConfig.all())
+    ).run(trace, "m88ksim", "optimized")
+
+    print(f"IPC {baseline.ipc:.2f} -> {optimized.ipc:.2f} "
+          f"(+{optimized.improvement_over(baseline):.1f}%)")
+"""
+
+from repro import workloads
+from repro.asm import assemble
+from repro.core import SimConfig, SimResult, Simulator, simulate
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.machine import Executor, run_program
+from repro.program import Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "Program",
+    "Executor",
+    "run_program",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "simulate",
+    "OptimizationConfig",
+    "workloads",
+    "__version__",
+]

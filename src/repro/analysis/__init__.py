@@ -1,0 +1,17 @@
+"""Result aggregation and summary statistics."""
+
+from repro.analysis.stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    improvement_percent,
+    summarize_improvements,
+)
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "improvement_percent",
+    "summarize_improvements",
+]

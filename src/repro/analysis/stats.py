@@ -1,0 +1,85 @@
+"""Summary statistics for benchmark results.
+
+The paper reports arithmetic means of per-benchmark percentage
+improvements ("improve performance ... by slightly more than 18%"), so
+that is the headline aggregator here; geometric and harmonic means are
+provided for completeness and for the ablation studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average.
+
+    Raises:
+        ValueError: on an empty input.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    return sum(data) / len(data)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ValueError: on an empty input or non-positive values.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    if any(value <= 0 for value in data):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in data) / len(data))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values (the right mean for rates).
+
+    Raises:
+        ValueError: on an empty input or non-positive values.
+    """
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    if any(value <= 0 for value in data):
+        raise ValueError("harmonic mean requires positive values")
+    return len(data) / sum(1.0 / value for value in data)
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percent change of *improved* relative to *baseline*."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (improved - baseline) / baseline
+
+
+def summarize_improvements(rows: dict) -> dict:
+    """Aggregate a {benchmark: percent} mapping.
+
+    Returns arithmetic mean, min/max with their benchmarks, and the
+    sorted rows — the shape every figure summary needs.
+    """
+    if not rows:
+        raise ValueError("no rows to summarize")
+    ordered = sorted(rows.items(), key=lambda kv: kv[1])
+    return {
+        "mean": arithmetic_mean(rows.values()),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "rows": ordered,
+    }
+
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "improvement_percent",
+    "summarize_improvements",
+]

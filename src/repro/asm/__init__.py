@@ -1,0 +1,26 @@
+"""Two-pass assembler for the reproduction ISA.
+
+The workloads standing in for SPECint95 are written in this assembly
+dialect; the assembler turns source text into a loadable
+:class:`repro.program.Program`.
+
+Example::
+
+    from repro.asm import assemble
+
+    program = assemble('''
+        .text
+        main:
+            li   $t0, 10
+            move $t1, $zero
+        loop:
+            addi $t1, $t1, 3
+            addi $t0, $t0, -1
+            bgtz $t0, loop
+            halt
+    ''')
+"""
+
+from repro.asm.assembler import Assembler, assemble
+
+__all__ = ["Assembler", "assemble"]

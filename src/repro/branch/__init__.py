@@ -1,0 +1,20 @@
+"""Branch prediction: the paper's three-PHT multiple-branch predictor,
+the bias table driving branch promotion, a return address stack and a
+BTB for the instruction-cache fetch path."""
+
+from repro.branch.bias import BiasTable
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.counters import SaturatingCounterArray
+from repro.branch.pht import PatternHistoryTable
+from repro.branch.predictor import MultiBranchPredictor, PredictorConfig
+from repro.branch.ras import ReturnAddressStack
+
+__all__ = [
+    "SaturatingCounterArray",
+    "PatternHistoryTable",
+    "BiasTable",
+    "ReturnAddressStack",
+    "BranchTargetBuffer",
+    "MultiBranchPredictor",
+    "PredictorConfig",
+]

@@ -1,0 +1,33 @@
+"""Branch target buffer for indirect jumps on the fetch path."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class BranchTargetBuffer:
+    """Direct-mapped tagged BTB storing last-seen indirect targets."""
+
+    def __init__(self, entries: int = 512) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError(f"entry count {entries} must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags = [None] * entries
+        self._targets = [0] * entries
+
+    def predict(self, pc: int):
+        """Predicted target for the control instruction at *pc*, or
+        ``None`` on a BTB miss."""
+        idx = (pc >> 2) & self._mask
+        if self._tags[idx] == pc:
+            return self._targets[idx]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        idx = (pc >> 2) & self._mask
+        self._tags[idx] = pc
+        self._targets[idx] = target
+
+
+__all__ = ["BranchTargetBuffer"]

@@ -1,0 +1,53 @@
+"""Saturating counter arrays, the substrate of every predictor table."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class SaturatingCounterArray:
+    """An array of n-bit saturating up/down counters.
+
+    Counters start at the weak side of the taken threshold (the usual
+    "weakly taken" initialization for 2-bit counters).
+    """
+
+    def __init__(self, entries: int, bits: int = 2) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigError(f"entry count {entries} must be a power of two")
+        if bits < 1:
+            raise ConfigError("counters need at least one bit")
+        self.entries = entries
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        self._counters = [self.threshold] * entries
+        self._mask = entries - 1
+
+    def index(self, key: int) -> int:
+        """Fold an arbitrary key into a table index."""
+        return key & self._mask
+
+    def value(self, key: int) -> int:
+        return self._counters[key & self._mask]
+
+    def predict(self, key: int) -> bool:
+        """Counter's current direction prediction (taken when at or
+        above the midpoint)."""
+        return self._counters[key & self._mask] >= self.threshold
+
+    def update(self, key: int, taken: bool) -> None:
+        """Train toward the observed outcome."""
+        idx = key & self._mask
+        value = self._counters[idx]
+        if taken:
+            if value < self.max_value:
+                self._counters[idx] = value + 1
+        elif value > 0:
+            self._counters[idx] = value - 1
+
+    def reset(self) -> None:
+        self._counters = [self.threshold] * self.entries
+
+
+__all__ = ["SaturatingCounterArray"]

@@ -1,0 +1,126 @@
+"""The paper's multiple-branch predictor.
+
+Three separate pattern history tables of 2-bit counters predict the
+first, second and third conditional branch of a fetch group
+respectively. Because branch promotion removes strongly biased branches
+from the dynamic-prediction stream, the tables are skewed: 64K, 16K and
+8K entries (roughly 32KB of predictor state including the 8KB bias
+table).
+
+Promoted branches are predicted statically from their embedded
+direction and do not consume a PHT slot — the caller (fetch engine /
+fill unit) decides promotion via the :class:`~repro.branch.bias.BiasTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.bias import BiasTable
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.pht import GlobalHistory, PatternHistoryTable
+from repro.branch.ras import ReturnAddressStack
+from repro.errors import ConfigError
+
+
+@dataclass
+class PredictorConfig:
+    """Sizing knobs for the whole prediction complex."""
+
+    pht_entries: tuple = (65536, 16384, 8192)
+    history_bits: int = 12
+    bias_entries: int = 8192
+    promote_threshold: int = 64
+    ras_depth: int = 16
+    btb_entries: int = 512
+
+    def scaled(self, factor: int) -> "PredictorConfig":
+        """A uniformly smaller configuration (for fast tests)."""
+        return PredictorConfig(
+            pht_entries=tuple(max(16, e // factor) for e in self.pht_entries),
+            history_bits=self.history_bits,
+            bias_entries=max(16, self.bias_entries // factor),
+            promote_threshold=self.promote_threshold,
+            ras_depth=self.ras_depth,
+            btb_entries=max(16, self.btb_entries // factor),
+        )
+
+
+@dataclass
+class PredictorStats:
+    cond_predictions: int = 0
+    cond_mispredicts: int = 0
+    promoted_predictions: int = 0
+    promoted_mispredicts: int = 0
+    indirect_predictions: int = 0
+    indirect_mispredicts: int = 0
+
+    @property
+    def cond_accuracy(self) -> float:
+        total = self.cond_predictions
+        return 1.0 - self.cond_mispredicts / total if total else 1.0
+
+
+class MultiBranchPredictor:
+    """Three skewed PHTs + bias table + RAS + BTB."""
+
+    def __init__(self, config: PredictorConfig = None) -> None:
+        self.config = config if config is not None else PredictorConfig()
+        cfg = self.config
+        if len(cfg.pht_entries) < 1:
+            raise ConfigError("need at least one PHT")
+        self.phts = [PatternHistoryTable(entries, cfg.history_bits)
+                     for entries in cfg.pht_entries]
+        self.history = GlobalHistory(cfg.history_bits)
+        self.bias = BiasTable(cfg.bias_entries, cfg.promote_threshold)
+        self.ras = ReturnAddressStack(cfg.ras_depth)
+        self.btb = BranchTargetBuffer(cfg.btb_entries)
+        self.stats = PredictorStats()
+
+    @property
+    def max_dynamic_branches(self) -> int:
+        """How many unpromoted conditional branches one fetch group may
+        carry (one per PHT)."""
+        return len(self.phts)
+
+    # ------------------------------------------------------------------
+
+    def predict_cond(self, pc: int, position: int) -> bool:
+        """Predict the *position*-th unpromoted conditional branch of
+        the current fetch group (0-based)."""
+        table = self.phts[min(position, len(self.phts) - 1)]
+        return table.predict(pc, self.history.value)
+
+    def update_cond(self, pc: int, position: int, taken: bool) -> None:
+        """Train table and history with the committed outcome.
+
+        The replay model trains immediately at fetch with the true
+        outcome (oracle update ordering); see DESIGN.md §3.
+        """
+        table = self.phts[min(position, len(self.phts) - 1)]
+        table.update(pc, self.history.value, taken)
+        self.history.push(taken)
+        self.stats.cond_predictions += 1
+
+    def record_outcome(self, pc: int, taken: bool) -> None:
+        """Feed the bias table (promotion bookkeeping) at retire."""
+        self.bias.record(pc, taken)
+
+    # -- indirect control ------------------------------------------------
+
+    def predict_indirect(self, pc: int, is_return: bool):
+        """Predicted target for an indirect jump, or ``None``."""
+        self.stats.indirect_predictions += 1
+        if is_return:
+            return self.ras.pop()
+        return self.btb.predict(pc)
+
+    def train_indirect(self, pc: int, target: int) -> None:
+        self.btb.update(pc, target)
+
+    def note_call(self, return_pc: int) -> None:
+        """Push the fall-through of a call onto the RAS."""
+        self.ras.push(return_pc)
+
+
+__all__ = ["MultiBranchPredictor", "PredictorConfig", "PredictorStats"]

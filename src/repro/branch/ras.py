@@ -1,0 +1,36 @@
+"""Return address stack for predicting subroutine returns."""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return address stack.
+
+    Overflow wraps (oldest entry lost), underflow predicts nothing —
+    both standard hardware behaviours.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        self.depth = depth
+        self._stack: list = []
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, return_pc: int) -> None:
+        self.pushes += 1
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self):
+        """Predicted return target, or ``None`` when empty."""
+        self.pops += 1
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+__all__ = ["ReturnAddressStack"]

@@ -1,0 +1,6 @@
+"""Cache models: generic set-associative cache and the paper's hierarchy."""
+
+from repro.cache.setassoc import CacheStats, SetAssocCache
+from repro.cache.hierarchy import MemoryHierarchy
+
+__all__ = ["SetAssocCache", "CacheStats", "MemoryHierarchy"]

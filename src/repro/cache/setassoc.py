@@ -1,0 +1,125 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+This is a *presence* model: it tracks which lines are resident (for hit
+and miss accounting and latency), not their contents — data values come
+from the functional memory. That is exactly what a trace-driven timing
+simulator needs from its caches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class CacheStats:
+    """Hit and miss counters."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+
+class SetAssocCache:
+    """A set-associative cache keyed by byte address.
+
+    LRU is maintained per set via insertion-ordered dicts (move-to-end
+    on hit), which is both exact and fast in CPython.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_size: int,
+                 name: str = "cache") -> None:
+        if not (_is_pow2(line_size) and _is_pow2(assoc)):
+            raise ConfigError(f"{name}: line size and associativity must "
+                              f"be powers of two")
+        if size_bytes % (assoc * line_size):
+            raise ConfigError(f"{name}: size {size_bytes} not divisible by "
+                              f"assoc*line ({assoc}x{line_size})")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_size = line_size
+        self.num_sets = size_bytes // (assoc * line_size)
+        if not _is_pow2(self.num_sets):
+            raise ConfigError(f"{name}: set count {self.num_sets} "
+                              f"must be a power of two")
+        self._line_shift = line_size.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # set index -> {tag: None}, insertion order == LRU order.
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def _locate(self, addr: int):
+        line = addr >> self._line_shift
+        return self._sets[line & self._set_mask], line
+
+    def probe(self, addr: int) -> bool:
+        """Non-allocating lookup; does not update LRU or stats."""
+        entries, tag = self._locate(addr)
+        return tag in entries
+
+    def access(self, addr: int) -> bool:
+        """Reference *addr*: returns hit/miss, allocating on miss.
+
+        On a miss the line is filled (the latency of doing so is the
+        caller's concern) and the LRU victim in the set is evicted.
+        """
+        entries, tag = self._locate(addr)
+        self.stats.accesses += 1
+        if tag in entries:
+            self.stats.hits += 1
+            entries[tag] = entries.pop(tag)  # move to MRU position
+            return True
+        if len(entries) >= self.assoc:
+            entries.pop(next(iter(entries)))  # evict LRU
+        entries[tag] = None
+        return False
+
+    def fill(self, addr: int) -> None:
+        """Install the line containing *addr* without counting an access."""
+        entries, tag = self._locate(addr)
+        if tag in entries:
+            entries[tag] = entries.pop(tag)
+            return
+        if len(entries) >= self.assoc:
+            entries.pop(next(iter(entries)))
+        entries[tag] = None
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing *addr*; returns whether it was present."""
+        entries, tag = self._locate(addr)
+        return entries.pop(tag, "absent") != "absent"
+
+    def flush(self) -> None:
+        """Empty the cache (stats retained)."""
+        for entries in self._sets:
+            entries.clear()
+
+    def resident_lines(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def __repr__(self) -> str:
+        return (f"SetAssocCache({self.name}: {self.size_bytes}B, "
+                f"{self.assoc}-way, {self.line_size}B lines)")
+
+
+__all__ = ["SetAssocCache", "CacheStats"]

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the fifteen benchmarks with their paper fingerprints.
+* ``run BENCH`` — simulate one benchmark under a chosen optimization
+  set and print the result summary.
+* ``compare BENCH`` — baseline vs each optimization vs combined.
+* ``figures`` — regenerate the paper's figures 3-8 (ASCII).
+* ``tables`` — regenerate tables 1-2.
+* ``validate [BENCH ...]`` — score workload fingerprints against the
+  paper's Table 2 targets.
+* ``asm FILE`` — assemble and run an assembly file (functionally, and
+  optionally through the timing model).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import workloads
+from repro.core.config import SimConfig
+from repro.core.simulator import Simulator
+from repro.fillunit.opts.base import OptimizationConfig
+
+
+def _opt_config(name: str) -> OptimizationConfig:
+    if name == "none":
+        return OptimizationConfig.none()
+    if name == "all":
+        return OptimizationConfig.all()
+    if name == "extended":
+        return OptimizationConfig.extended()
+    return OptimizationConfig.only(name)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="workload length multiplier (default 0.5)")
+    parser.add_argument(
+        "--opts", default="all",
+        choices=["none", "moves", "reassoc", "scaled_adds", "placement",
+                 "cse", "dead_code", "all", "extended"],
+        help="fill-unit optimization set (default all)")
+    parser.add_argument("--fill-latency", type=int, default=5,
+                        help="fill pipeline latency in cycles (default 5)")
+
+
+def cmd_list(args) -> int:
+    print(f"{'benchmark':13s} {'suite':10s} "
+          f"{'mv%':>5s} {'ra%':>5s} {'sc%':>5s} {'tot%':>5s}  kernel")
+    for name in workloads.names():
+        spec = workloads.spec(name)
+        row = spec.paper_table2
+        print(f"{name:13s} {spec.suite:10s} "
+              f"{row.moves:5.1f} {row.reassoc:5.1f} {row.scaled:5.1f} "
+              f"{row.total:5.1f}  {spec.description}")
+    print("\n(percent columns: the paper's Table 2 fingerprints)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    program = workloads.build(args.benchmark, args.scale)
+    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    result = Simulator(config).run(program, args.benchmark, args.opts)
+    print(result.summary())
+    cov = result.coverage.as_percentages(result.instructions)
+    print(f"transformed: {cov['total']:.1f}% "
+          f"(moves {cov['moves']:.1f}, reassoc {cov['reassoc']:.1f}, "
+          f"scaled {cov['scaled']:.1f})")
+    print(f"mispredict rate: {100 * result.mispredict_rate:.2f}%   "
+          f"segments built: {result.segments_built}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    program = workloads.build(args.benchmark, args.scale)
+    simulator = Simulator(SimConfig.paper(fill_latency=args.fill_latency))
+    trace = simulator.trace_program(program)
+    baseline = simulator.run(trace, args.benchmark, "baseline")
+    print(baseline.summary())
+    sets = ["moves", "reassoc", "scaled_adds", "placement", "all"]
+    if args.extended:
+        sets += ["cse", "dead_code", "extended"]
+    for name in sets:
+        config = SimConfig.paper(_opt_config(name), args.fill_latency)
+        result = Simulator(config).run(trace, args.benchmark, name)
+        print(f"  {name:12s} IPC {result.ipc:5.2f}  "
+              f"({result.improvement_over(baseline):+5.1f}%)")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.harness import ExperimentRunner, figures
+    runner = ExperimentRunner(scale=args.scale)
+    if args.svg:
+        from repro.harness.svgchart import write_all_figures
+        for path in write_all_figures(runner, args.svg):
+            print(f"wrote {path}")
+        return 0
+    wanted = args.only or ["3", "4", "5", "6", "7", "8"]
+    generators = {"3": figures.figure3, "4": figures.figure4,
+                  "5": figures.figure5, "6": figures.figure6,
+                  "7": figures.figure7, "8": figures.figure8}
+    for key in wanted:
+        print(generators[key](runner).render())
+        print()
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.harness import ExperimentRunner, tables
+    runner = ExperimentRunner(scale=args.scale)
+    print(tables.table1(runner).render())
+    print()
+    print(tables.table2(runner).render())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.workloads.validate import validate_benchmark
+    names = args.benchmarks or workloads.names()
+    unknown = [n for n in names if n not in workloads.names()]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}")
+        return 2
+    off_target = 0
+    for name in names:
+        report = validate_benchmark(name, scale=args.scale)
+        print(report.render())
+        if not report.within():
+            off_target += 1
+            print("  ^ outside the 3x band")
+    print(f"\n{len(names) - off_target}/{len(names)} within the 3x band")
+    return 0
+
+
+def cmd_asm(args) -> int:
+    from repro.asm import assemble
+    from repro.machine.executor import Executor
+    with open(args.file) as handle:
+        source = handle.read()
+    program = assemble(source, name=args.file)
+    trace = Executor(program).run(max_instructions=args.max_instructions)
+    print(f"{args.file}: {len(trace)} committed instructions, "
+          f"output {trace.output}")
+    if args.simulate:
+        config = SimConfig.paper(_opt_config(args.opts),
+                                 args.fill_latency)
+        result = Simulator(config).run(trace, args.file, args.opts)
+        print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace-cache fill-unit optimization reproduction "
+                    "(Friendly/Patel/Patt, MICRO 1998)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(
+        func=cmd_list)
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark", choices=workloads.names())
+    _add_common(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare",
+                           help="baseline vs each optimization")
+    p_cmp.add_argument("benchmark", choices=workloads.names())
+    p_cmp.add_argument("--scale", type=float, default=0.5)
+    p_cmp.add_argument("--fill-latency", type=int, default=5)
+    p_cmp.add_argument("--extended", action="store_true",
+                       help="also run the future-work passes")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_fig = sub.add_parser("figures", help="regenerate figures 3-8")
+    p_fig.add_argument("--scale", type=float, default=0.5)
+    p_fig.add_argument("--only", nargs="*",
+                       choices=["3", "4", "5", "6", "7", "8"])
+    p_fig.add_argument("--svg", metavar="DIR",
+                       help="write figures as SVG files into DIR")
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_tab = sub.add_parser("tables", help="regenerate tables 1-2")
+    p_tab.add_argument("--scale", type=float, default=0.5)
+    p_tab.set_defaults(func=cmd_tables)
+
+    p_val = sub.add_parser("validate",
+                           help="score workload fingerprints vs Table 2")
+    p_val.add_argument("benchmarks", nargs="*", metavar="BENCH")
+    p_val.add_argument("--scale", type=float, default=0.3)
+    p_val.set_defaults(func=cmd_validate)
+
+    p_asm = sub.add_parser("asm", help="assemble and run a .s file")
+    p_asm.add_argument("file")
+    p_asm.add_argument("--simulate", action="store_true",
+                       help="also run the timing model")
+    p_asm.add_argument("--max-instructions", type=int, default=5_000_000)
+    _add_common(p_asm)
+    p_asm.set_defaults(func=cmd_asm)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

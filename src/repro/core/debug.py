@@ -1,0 +1,83 @@
+"""Pipeline debugging aids: per-instruction timing capture.
+
+Attach a :class:`TimingTrace` to a :class:`PipelineModel` to record
+when every committed instruction was fetched, renamed, completed and
+retired — the raw material for understanding *why* a configuration is
+faster (which chain shrank, where the bypass penalty went).
+
+Example::
+
+    model = PipelineModel(config)
+    capture = TimingTrace(limit=200)
+    model.timing_hook = capture
+    model.run(trace)
+    print(capture.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """One instruction's trip through the pipeline."""
+
+    seq: int
+    pc: int
+    op: str
+    fetch: int
+    rename: int
+    complete: int
+    retire: int
+    slot: int
+    from_tc: bool
+    mispredicted: bool
+
+    @property
+    def latency(self) -> int:
+        """Fetch-to-retire cycles."""
+        return self.retire - self.fetch
+
+
+class TimingTrace:
+    """Bounded per-instruction timing capture (a callable hook)."""
+
+    def __init__(self, limit: int = 1000, start_seq: int = 0) -> None:
+        self.limit = limit
+        self.start_seq = start_seq
+        self.records: list = []
+
+    def __call__(self, *, seq: int, pc: int, op: str, fetch: int,
+                 rename: int, complete: int, retire: int, slot: int,
+                 from_tc: bool, mispredicted: bool) -> None:
+        if seq < self.start_seq or len(self.records) >= self.limit:
+            return
+        self.records.append(TimingRecord(
+            seq, pc, op, fetch, rename, complete, retire, slot,
+            from_tc, mispredicted))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def find(self, pc: int) -> list:
+        """All captured records for the static instruction at *pc*."""
+        return [r for r in self.records if r.pc == pc]
+
+    def render(self, count: Optional[int] = None) -> str:
+        """A readable pipeline diagram-esque table."""
+        rows = self.records if count is None else self.records[:count]
+        lines = [f"{'seq':>7} {'pc':>8} {'op':6} {'F':>7} {'R':>7} "
+                 f"{'C':>7} {'ret':>7} {'lat':>4} slot src"]
+        for r in rows:
+            lines.append(
+                f"{r.seq:7d} {r.pc:8x} {r.op:6s} {r.fetch:7d} "
+                f"{r.rename:7d} {r.complete:7d} {r.retire:7d} "
+                f"{r.latency:4d} {r.slot:4d} "
+                f"{'TC' if r.from_tc else 'IC'}"
+                f"{' MISP' if r.mispredicted else ''}")
+        return "\n".join(lines)
+
+
+__all__ = ["TimingTrace", "TimingRecord"]

@@ -1,0 +1,504 @@
+"""The pipeline timing model.
+
+A committed-stream replay of the paper's machine: a 16-wide fetch
+engine (trace cache + supporting instruction cache + multiple-branch
+predictor), in-order rename with checkpoint limits, dataflow scheduling
+onto four clusters of four pipelined functional units with a +1-cycle
+cross-cluster bypass, a memory scheduler that refuses to hoist loads
+past unknown store addresses, in-order retirement, and a fill unit
+feeding the trace cache behind retirement.
+
+Methodology (DESIGN.md §3): instructions are processed in committed
+order; each acquires fetch, rename, execute and retire cycles subject
+to structural and dataflow constraints. Mispredicted branches stall
+subsequent fetch until resolution — *except* the instructions already
+inside the same trace segment along the correct path, which is exactly
+the inactive-issue benefit of the baseline machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.predictor import MultiBranchPredictor
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.clusters import (
+    BypassNetwork,
+    FunctionalUnits,
+    ReservationStations,
+)
+from repro.core.config import SimConfig
+from repro.core.memsched import MemoryScheduler
+from repro.core.rename import RenameUnit, RetireUnit
+from repro.core.results import SimResult
+from repro.fillunit.unit import FillUnit, FillUnitConfig
+from repro.isa.opcodes import OpClass
+from repro.tracecache.cache import TraceCache
+
+
+@dataclass
+class _FetchEntry:
+    """One instruction of a fetch group, ready for rename."""
+
+    record: object          # CommittedInstr (None for phantoms)
+    instr: object           # possibly the TC's transformed copy
+    slot: int               # issue slot -> functional unit
+    from_tc: bool
+    mispredicted: bool = False
+    promoted: bool = False
+    #: a predicated instruction whose guard failed on the actual path:
+    #: it issues and executes (writing back its old value) but matches
+    #: no committed record.
+    phantom: bool = False
+
+
+class PipelineModel:
+    """One configured machine instance; replays committed traces."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.predictor = MultiBranchPredictor(config.predictor)
+        self.trace_cache = (TraceCache(config.trace_cache)
+                            if config.trace_cache_enabled else None)
+        self.fill_unit = None
+        if self.trace_cache is not None:
+            fill_config = FillUnitConfig(
+                max_instrs=config.trace_cache.max_instrs,
+                max_cond_branches=config.trace_cache.max_cond_branches,
+                trace_packing=config.trace_packing,
+                latency=config.fill_latency,
+                num_clusters=config.num_clusters,
+                cluster_size=config.cluster_size,
+                optimizations=config.optimizations,
+            )
+            self.fill_unit = FillUnit(fill_config, self.trace_cache,
+                                      self.predictor.bias)
+        self.fus = FunctionalUnits(config.num_fus)
+        self.rs = ReservationStations(config.num_fus, config.rs_per_fu)
+        self.bypass = BypassNetwork(config.cluster_size,
+                                    config.cross_cluster_penalty)
+        self.rename_unit = RenameUnit(config.issue_width,
+                                      config.max_blocks_per_cycle,
+                                      config.window_size)
+        from repro.core.clusters import CheckpointStore
+        self.checkpoints = CheckpointStore(config.max_checkpoints)
+        self.retire_unit = RetireUnit(config.retire_width)
+        self.memsched = MemoryScheduler(self.hierarchy,
+                                        config.store_forward_window)
+        self._ic_line_mask = ~(config.hierarchy.l1i_line - 1)
+        #: optional per-instruction timing callback; see
+        #: :class:`repro.core.debug.TimingTrace`.
+        self.timing_hook = None
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch_group(self, records: list, start: int, cycle: int):
+        """Assemble one fetch group starting at stream index *start*.
+
+        Returns ``(entries, fetch_cycle)``; ``len(entries)`` stream
+        records were consumed.
+        """
+        pc = records[start].pc
+        if self.trace_cache is not None:
+            segment = self.trace_cache.lookup(pc, cycle,
+                                              self._path_chooser)
+            if segment is not None:
+                # The supporting I-cache is probed in parallel with the
+                # trace cache (figure 1's datapath); keep its line
+                # resident so the rare TC misses do not pay a full
+                # memory round trip for code that streams through the
+                # TC every cycle.
+                self.hierarchy.l1i.fill(pc)
+                return self._fetch_from_segment(segment, records, start,
+                                                cycle)
+            self.fill_unit.note_fetch_miss(pc)
+        return self._fetch_from_icache(records, start, cycle)
+
+    def _path_chooser(self, segment) -> int:
+        """Way-selection score for path-associative lookup.
+
+        0: the predictor disagrees with the segment's path; 1: agrees
+        (promoted branches agree by construction); 2: agrees AND the
+        segment is predicated — a predicated segment matches the actual
+        path on *either* outcome of its converted branch, so it is
+        strictly more useful than a single-path twin.
+        """
+        agree = 1
+        for info in segment.branches:
+            if not info.promoted:
+                agree = int(self.predictor.predict_cond(info.pc, 0)
+                            == info.direction)
+                break
+        if agree and any(instr.guard is not None
+                         for instr in segment.instrs):
+            return 2
+        return agree
+
+    def _fetch_from_segment(self, segment, records: list, start: int,
+                            cycle: int):
+        """Consume the leading portion of *segment* that matches the
+        actual path; all of it issues this cycle (inactive issue)."""
+        entries = []
+        branch_at = {b.index: b for b in segment.branches}
+        position = 0        # unpromoted-branch predictor slot
+        consumed = 0
+        n = len(records)
+        for logical, instr in enumerate(segment.instrs):
+            stream_idx = start + consumed
+            if stream_idx >= n:
+                break
+            record = records[stream_idx]
+            if instr.pc != record.pc:
+                if instr.guard is not None:
+                    # Predicated instruction skipped on the actual path:
+                    # it still issues (guard false, old value kept) but
+                    # consumes no committed record.
+                    entries.append(_FetchEntry(
+                        None, instr, segment.slots[logical],
+                        from_tc=True, phantom=True))
+                    continue
+                break       # segment path diverges from the actual path
+            entry = _FetchEntry(record, instr, segment.slots[logical],
+                                from_tc=True)
+            entries.append(entry)
+            consumed += 1
+            if instr.is_cond_branch():
+                info = branch_at.get(logical)
+                if info is not None and info.promoted:
+                    entry.promoted = True
+                    predicted = info.direction
+                else:
+                    predicted = self.predictor.predict_cond(record.pc,
+                                                            position)
+                    self.predictor.update_cond(record.pc, position,
+                                               record.taken)
+                    position += 1
+                entry.mispredicted = predicted != record.taken
+            else:
+                self._handle_unconditional(entry)
+        return entries, cycle
+
+    def _fetch_from_icache(self, records: list, start: int, cycle: int):
+        """Block-granular fetch from the supporting instruction cache."""
+        pc = records[start].pc
+        extra = self.hierarchy.fetch_instr(pc)
+        fetch_cycle = cycle + extra
+        entries = []
+        line = pc & self._ic_line_mask
+        cond_count = 0
+        n = len(records)
+        while (len(entries) < self.config.ic_fetch_width
+               and start + len(entries) < n):
+            record = records[start + len(entries)]
+            instr = record.instr
+            if entries:
+                prev = entries[-1].record
+                if record.pc != prev.pc + 4:
+                    break   # previous instruction transferred control
+                if record.pc & self._ic_line_mask != line:
+                    break   # crossed the cache line
+            if instr.is_cond_branch() and cond_count >= \
+                    self.predictor.max_dynamic_branches:
+                break
+            entry = _FetchEntry(record, instr, len(entries), from_tc=False)
+            entries.append(entry)
+            if instr.is_cond_branch():
+                predicted = self.predictor.predict_cond(record.pc,
+                                                        cond_count)
+                self.predictor.update_cond(record.pc, cond_count,
+                                           record.taken)
+                cond_count += 1
+                entry.mispredicted = predicted != record.taken
+                if entry.mispredicted:
+                    break
+                if record.taken:
+                    break   # fetch ends at a taken branch
+            else:
+                self._handle_unconditional(entry)
+                if record.next_pc != record.pc + 4:
+                    break   # taken jump/call/return ends the group
+            if instr.is_serializing():
+                break
+        return entries, fetch_cycle
+
+    def _handle_unconditional(self, entry: _FetchEntry) -> None:
+        """RAS/BTB maintenance and indirect-target checking."""
+        instr = entry.instr
+        record = entry.record
+        if instr.is_call():
+            self.predictor.note_call(record.pc + 4)
+        if instr.is_indirect() or instr.is_return():
+            predicted = self.predictor.predict_indirect(
+                record.pc, instr.is_return())
+            if predicted != record.next_pc:
+                entry.mispredicted = True
+            self.predictor.train_indirect(record.pc, record.next_pc)
+
+    # ==================================================================
+    # The replay loop
+    # ==================================================================
+
+    def run(self, trace, benchmark: str = "bench",
+            label: str = "run", program=None) -> SimResult:
+        """Replay *trace* (a :class:`CommittedTrace`) and return the
+        per-run statistics.
+
+        *program* (the static image) is only needed when
+        ``config.model_wrong_path`` is set — wrong-path instructions
+        are decoded from it.
+
+        Raises:
+            ConfigError: when wrong-path modeling is requested without
+                a program image.
+        """
+        config = self.config
+        wrong_path = None
+        if config.model_wrong_path:
+            if program is None:
+                from repro.errors import ConfigError
+                raise ConfigError(
+                    "model_wrong_path requires the program image")
+            from repro.core.wrongpath import WrongPathFetcher
+            wrong_path = WrongPathFetcher(program, self.hierarchy,
+                                          config.ic_fetch_width)
+        records = trace.records
+        n = len(records)
+        result = SimResult(benchmark=benchmark, config_label=label,
+                           instructions=n, cycles=0)
+        if n == 0:
+            return result
+
+        reg_ready = [(0, None)] * 32
+        retire_cycles: list = []
+        window = config.window_size
+        cluster_size = config.cluster_size
+        redirect = config.mispredict_redirect
+        coverage = result.coverage
+
+        fetch_ready = 0
+        index = 0
+        while index < n:
+            entries, fetch_cycle = self._fetch_group(records, index,
+                                                     fetch_ready)
+            if not entries:     # defensive; cannot happen on real traces
+                index += 1
+                continue
+            group_next = fetch_cycle + 1
+            serialize_after = None
+
+            consumed_in_group = 0
+            for entry in entries:
+                record = entry.record
+                instr = entry.instr
+                seq = len(retire_cycles)
+                window_release = (retire_cycles[seq - window]
+                                  if seq >= window else 0)
+                is_branch = instr.is_cond_branch()
+                checkpoint_free = (self.checkpoints.acquire(fetch_cycle + 1)
+                                   if is_branch else 0)
+                renamed = self.rename_unit.rename(
+                    fetch_cycle, is_branch, window_release,
+                    not_before=checkpoint_free)
+
+                if entry.phantom:
+                    # Issues and executes; architecturally writes back
+                    # its old destination value. No committed record.
+                    self._execute(entry, renamed, reg_ready, result,
+                                  cluster_size)
+                    result.predication_phantoms += 1
+                    continue
+                consumed_in_group += 1
+
+                if entry.from_tc:
+                    result.tc_fetched_instrs += 1
+                    if instr.move_flag:
+                        coverage.moves += 1
+                    if instr.reassociated:
+                        coverage.reassoc += 1
+                    if instr.scale is not None:
+                        coverage.scaled += 1
+                    if (instr.move_flag or instr.reassociated
+                            or instr.scale is not None):
+                        coverage.any_opt += 1
+                else:
+                    result.ic_fetched_instrs += 1
+
+                if instr.move_flag:
+                    complete = self._execute_move(instr, renamed, reg_ready)
+                    result.moves_eliminated += 1
+                else:
+                    complete = self._execute(entry, renamed, reg_ready,
+                                             result, cluster_size)
+
+                retire_cycle = self.retire_unit.retire(complete)
+                retire_cycles.append(retire_cycle)
+                if self.timing_hook is not None:
+                    self.timing_hook(
+                        seq=seq, pc=record.pc, op=instr.op.value,
+                        fetch=fetch_cycle, rename=renamed,
+                        complete=complete, retire=retire_cycle,
+                        slot=entry.slot, from_tc=entry.from_tc,
+                        mispredicted=entry.mispredicted)
+
+                arch_instr = record.instr
+                if arch_instr.is_cond_branch():
+                    result.cond_branches += 1
+                    # The bias table keeps learning from the architected
+                    # branch even when the segment carries it predicated
+                    # away (as a NOP).
+                    self.predictor.record_outcome(record.pc, record.taken)
+                    if instr.guard is None and not instr.is_cond_branch():
+                        result.predicated_branches += 1
+                    if entry.promoted:
+                        result.promoted_fetches += 1
+                        if entry.mispredicted:
+                            result.promoted_mispredicts += 1
+                    if entry.mispredicted:
+                        result.mispredicts += 1
+                elif entry.mispredicted:
+                    result.indirect_mispredicts += 1
+
+                if is_branch:
+                    self.checkpoints.commit(complete)
+                if entry.mispredicted:
+                    resume = complete + redirect
+                    if resume > group_next:
+                        group_next = resume
+                    if wrong_path is not None \
+                            and arch_instr.is_cond_branch():
+                        wrong_path.pollute(
+                            wrong_path.wrong_target(record),
+                            max(0, complete - fetch_cycle))
+                if instr.is_serializing():
+                    serialize_after = retire_cycle
+
+                if self.fill_unit is not None:
+                    self.fill_unit.retire(record, retire_cycle)
+
+            if serialize_after is not None:
+                group_next = max(group_next, serialize_after + 1)
+            fetch_ready = group_next
+            index += consumed_in_group
+
+        result.cycles = retire_cycles[-1]
+        if wrong_path is not None:
+            result.wrong_path_fetches = wrong_path.instructions
+        self._finish_stats(result)
+        return result
+
+    # ==================================================================
+    # Execution timing
+    # ==================================================================
+
+    def _execute_move(self, instr, renamed: int, reg_ready: list) -> int:
+        """A marked register move: completed by the rename logic.
+
+        The destination inherits the source's tag — same availability
+        time, same producing cluster — and no functional unit or
+        reservation station is consumed.
+        """
+        sources = instr.sources()
+        if sources and sources[0] != 0:
+            ready = reg_ready[sources[0]]
+        else:
+            ready = (0, None)
+        dest = instr.dest()
+        if dest is not None:
+            reg_ready[dest] = ready
+        return max(renamed, ready[0])
+
+    def _execute(self, entry: _FetchEntry, renamed: int, reg_ready: list,
+                 result: SimResult, cluster_size: int) -> int:
+        """Schedule one instruction onto its functional unit; returns
+        its completion cycle and updates dataflow state."""
+        instr = entry.instr
+        record = entry.record
+        if instr.opclass is OpClass.NOP:
+            # NOPs (including instructions squashed by dead-code
+            # elimination) occupy their trace cache slot but are never
+            # dispatched to a functional unit.
+            return renamed
+        fu = entry.slot
+        cluster = fu // cluster_size
+        bypass = self.bypass
+
+        is_store = instr.is_store()
+        if instr.is_mem():
+            addr_regs, value_reg = instr.mem_split()
+            roles = [(reg, "addr") for reg in addr_regs]
+            if value_reg is not None:
+                roles.append((value_reg, "data"))
+        else:
+            roles = [(reg, "addr") for reg in instr.sources()]
+
+        dispatch_ready = 0      # all operands (last-arriving source)
+        agen_ready = 0          # address operands only (store AGEN)
+        data_ready = 0          # store-data path, joins in store queue
+        last_penalized = False
+        saw_source = False
+        for reg, role in roles:
+            if reg == 0:
+                continue
+            ready, producer_cluster = reg_ready[reg]
+            effective = bypass.effective_ready(ready, producer_cluster,
+                                               cluster)
+            penalized = effective != ready
+            saw_source = True
+            if role == "data":
+                if effective > data_ready:
+                    data_ready = effective
+            elif effective > agen_ready:
+                agen_ready = effective
+            if effective > dispatch_ready:
+                dispatch_ready = effective
+                last_penalized = penalized
+            elif effective == dispatch_ready and penalized:
+                last_penalized = True
+        if saw_source:
+            result.executed_with_sources += 1
+            if last_penalized:
+                result.bypass_delayed += 1
+
+        rs_free = self.rs.admit(fu, renamed)
+        earliest = max(renamed + 1,
+                       agen_ready if is_store else dispatch_ready,
+                       rs_free)
+        exec_start = self.fus.reserve(fu, earliest)
+        self.rs.occupy(fu, exec_start)
+
+        opclass = instr.opclass
+        if opclass is OpClass.LOAD:
+            agen_done = exec_start + 1
+            complete = self.memsched.load_timing(record.mem_addr, agen_done)
+        elif opclass is OpClass.STORE:
+            agen_done = exec_start + 1
+            complete = self.memsched.store_timing(record.mem_addr,
+                                                  agen_done, data_ready)
+        else:
+            complete = exec_start + instr.info.latency
+
+        dest = instr.dest()
+        if dest is not None:
+            reg_ready[dest] = (complete, cluster)
+        return complete
+
+    # ==================================================================
+
+    def _finish_stats(self, result: SimResult) -> None:
+        if self.trace_cache is not None:
+            result.tc_lookups = self.trace_cache.stats.lookups
+            result.tc_hits = self.trace_cache.stats.hits
+        if self.fill_unit is not None:
+            result.segments_built = self.fill_unit.stats.segments_built
+            result.segments_deduped = self.fill_unit.stats.segments_deduped
+            result.pass_totals = self.fill_unit.pass_totals
+        result.dcache_hits = self.hierarchy.l1d.stats.hits
+        result.dcache_misses = self.hierarchy.l1d.stats.misses
+        result.icache_misses = self.hierarchy.l1i.stats.misses
+        result.forwarded_loads = self.memsched.forwarded_loads
+
+
+__all__ = ["PipelineModel"]

@@ -1,0 +1,120 @@
+"""Simulation results and statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OptCoverage:
+    """Dynamic optimized-instruction coverage (the paper's Table 2):
+    how many *committed* instructions were consumed from the trace
+    cache in transformed form, per transformation."""
+
+    moves: int = 0
+    reassoc: int = 0
+    scaled: int = 0
+    any_opt: int = 0
+
+    def as_percentages(self, total: int) -> dict:
+        if total == 0:
+            return {"moves": 0.0, "reassoc": 0.0, "scaled": 0.0,
+                    "total": 0.0}
+        return {
+            "moves": 100.0 * self.moves / total,
+            "reassoc": 100.0 * self.reassoc / total,
+            "scaled": 100.0 * self.scaled / total,
+            "total": 100.0 * self.any_opt / total,
+        }
+
+
+@dataclass
+class SimResult:
+    """Everything a run produced."""
+
+    benchmark: str
+    config_label: str
+    instructions: int
+    cycles: int
+
+    # Fetch
+    tc_fetched_instrs: int = 0      # instructions supplied by the TC
+    ic_fetched_instrs: int = 0
+    tc_lookups: int = 0
+    tc_hits: int = 0
+
+    # Control flow
+    cond_branches: int = 0
+    mispredicts: int = 0
+    promoted_fetches: int = 0       # branches consumed with static pred
+    promoted_mispredicts: int = 0
+    indirect_mispredicts: int = 0
+
+    # Backend
+    bypass_delayed: int = 0         # last-arriving source crossed clusters
+    executed_with_sources: int = 0
+    moves_eliminated: int = 0       # marked moves completed in rename
+
+    # Dynamic predication (extension pass)
+    predicated_branches: int = 0    # branches consumed in squashed form
+    predication_phantoms: int = 0   # guard-false bodies issued off-path
+
+    # Wrong-path modeling (opt-in; see repro.core.wrongpath)
+    wrong_path_fetches: int = 0     # wrong-path instructions fetched
+
+    # Memory
+    dcache_hits: int = 0
+    dcache_misses: int = 0
+    icache_misses: int = 0
+    forwarded_loads: int = 0
+
+    # Fill unit
+    segments_built: int = 0
+    segments_deduped: int = 0
+    pass_totals: dict = field(default_factory=dict)
+
+    coverage: OptCoverage = field(default_factory=OptCoverage)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def tc_hit_rate(self) -> float:
+        return self.tc_hits / self.tc_lookups if self.tc_lookups else 0.0
+
+    @property
+    def tc_instr_fraction(self) -> float:
+        """Fraction of committed instructions supplied by the TC."""
+        return (self.tc_fetched_instrs / self.instructions
+                if self.instructions else 0.0)
+
+    @property
+    def bypass_delayed_fraction(self) -> float:
+        """Figure 7's metric: fraction of on-path instructions whose
+        last-arriving source value was delayed by the bypass network."""
+        return (self.bypass_delayed / self.instructions
+                if self.instructions else 0.0)
+
+    @property
+    def mispredict_rate(self) -> float:
+        return (self.mispredicts / self.cond_branches
+                if self.cond_branches else 0.0)
+
+    def improvement_over(self, baseline: "SimResult") -> float:
+        """Percent IPC improvement relative to *baseline*."""
+        if baseline.ipc == 0:
+            return 0.0
+        return 100.0 * (self.ipc - baseline.ipc) / baseline.ipc
+
+    def summary(self) -> str:
+        return (f"{self.benchmark:12s} [{self.config_label:14s}] "
+                f"IPC={self.ipc:5.2f}  cycles={self.cycles:8d}  "
+                f"instrs={self.instructions:8d}  "
+                f"tc={100 * self.tc_instr_fraction:5.1f}%  "
+                f"bypass={100 * self.bypass_delayed_fraction:5.1f}%")
+
+
+__all__ = ["SimResult", "OptCoverage"]

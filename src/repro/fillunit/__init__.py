@@ -1,0 +1,16 @@
+"""The fill unit: collects retired blocks into trace segments, marks
+explicit dependency information, performs branch promotion, and runs
+the paper's four dynamic trace optimizations off the critical path."""
+
+from repro.fillunit.collector import FillCollector, PendingSegment
+from repro.fillunit.dependency import DependencyInfo, mark_dependencies
+from repro.fillunit.unit import FillUnit, FillUnitConfig
+
+__all__ = [
+    "FillCollector",
+    "PendingSegment",
+    "DependencyInfo",
+    "mark_dependencies",
+    "FillUnit",
+    "FillUnitConfig",
+]

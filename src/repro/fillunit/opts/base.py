@@ -1,0 +1,162 @@
+"""Optimization pass framework.
+
+Each of the paper's four trace optimizations is a pass over a
+:class:`~repro.tracecache.segment.TraceSegment`; the
+:class:`PassManager` applies the enabled subset in the paper's order
+(moves, reassociation, scaled adds, then placement — placement last
+because it consumes the final dependence structure).
+
+Passes run inside the fill pipeline, off the critical path; their
+*cost* is modelled as the fill-unit latency knob, not per-pass cycles
+(the paper varies 1/5/10 cycles for the whole structure and finds the
+impact negligible).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.tracecache.segment import TraceSegment
+
+
+@dataclass
+class OptimizationConfig:
+    """Which optimizations the fill unit performs.
+
+    The first four are the paper's contributions; ``cse`` and
+    ``dead_code`` are the conservative subsets of the extensions the
+    paper's conclusion proposes as future work (§5).
+    """
+
+    moves: bool = False
+    reassoc: bool = False
+    scaled_adds: bool = False
+    placement: bool = False
+    cse: bool = False
+    dead_code: bool = False
+    predication: bool = False
+    #: the paper inhibits reassociation within a basic block (the
+    #: compiler already does it there); disable for the ablation run.
+    reassoc_cross_flow_only: bool = True
+    #: maximum shift distance a scaled add may absorb (2 stored bits
+    #: plus the ALU path-length argument give the paper's limit of 3).
+    max_scale_shift: int = 3
+
+    @classmethod
+    def none(cls) -> "OptimizationConfig":
+        """The baseline: no trace optimizations."""
+        return cls()
+
+    @classmethod
+    def all(cls) -> "OptimizationConfig":
+        """The paper's combined configuration (the four published
+        optimizations; extensions stay off)."""
+        return cls(moves=True, reassoc=True, scaled_adds=True,
+                   placement=True)
+
+    @classmethod
+    def extended(cls) -> "OptimizationConfig":
+        """The paper's four plus its proposed future-work passes."""
+        return cls(moves=True, reassoc=True, scaled_adds=True,
+                   placement=True, cse=True, dead_code=True,
+                   predication=True)
+
+    @classmethod
+    def only(cls, name: str) -> "OptimizationConfig":
+        """Enable a single optimization by name (figure 3-6 runs)."""
+        valid = {"moves", "reassoc", "scaled_adds", "placement",
+                 "cse", "dead_code", "predication"}
+        if name not in valid:
+            raise ValueError(f"unknown optimization {name!r}; "
+                             f"expected one of {sorted(valid)}")
+        return cls(**{name: True})
+
+    def enabled_names(self) -> list:
+        return [name for name in
+                ("predication", "cse", "dead_code", "moves", "reassoc",
+                 "scaled_adds", "placement")
+                if getattr(self, name)]
+
+
+@dataclass
+class PassContext:
+    """Microarchitectural facts the passes may exploit.
+
+    The fill unit is not architecturally visible, so it is free to
+    tailor its output to the execution engine — here, the cluster
+    geometry used by the placement pass.
+    """
+
+    num_clusters: int = 4
+    cluster_size: int = 4
+    config: OptimizationConfig = field(default_factory=OptimizationConfig)
+    #: the bias table, when available: lets passes ask whether a branch
+    #: is strongly biased (predication skips well-predicted branches).
+    bias: object = None
+
+
+class OptimizationPass(abc.ABC):
+    """One trace transformation."""
+
+    name: str = "pass"
+
+    @abc.abstractmethod
+    def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
+        """Transform *segment* in place; return ``{stat: count}``."""
+
+
+class PassManager:
+    """Applies the enabled passes in the paper's order."""
+
+    def __init__(self, config: OptimizationConfig,
+                 num_clusters: int = 4, cluster_size: int = 4,
+                 bias=None) -> None:
+        from repro.fillunit.opts.cse import CommonSubexpressionPass
+        from repro.fillunit.opts.deadcode import DeadCodePass
+        from repro.fillunit.opts.moves import RegisterMovePass
+        from repro.fillunit.opts.placement import PlacementPass
+        from repro.fillunit.opts.predication import PredicationPass
+        from repro.fillunit.opts.reassoc import ReassociationPass
+        from repro.fillunit.opts.scaledadd import ScaledAddPass
+
+        self.context = PassContext(num_clusters, cluster_size, config,
+                                   bias=bias)
+        self.passes: list = []
+        if config.predication:
+            self.passes.append(PredicationPass())
+        if config.cse:
+            self.passes.append(CommonSubexpressionPass())
+        if config.dead_code:
+            self.passes.append(DeadCodePass())
+        if config.moves:
+            self.passes.append(RegisterMovePass())
+        if config.reassoc:
+            self.passes.append(ReassociationPass())
+        if config.scaled_adds:
+            self.passes.append(ScaledAddPass())
+        if config.placement:
+            self.passes.append(PlacementPass())
+        self.totals: dict = {}
+
+    def run(self, segment: TraceSegment) -> dict:
+        """Apply all passes to *segment*; accumulate and return stats."""
+        from repro.fillunit.dependency import mark_dependencies
+
+        stats: dict = {}
+        for opt_pass in self.passes:
+            # Placement consumes the dependence structure produced by
+            # the rewriting passes, so (re)mark just before it.
+            if opt_pass.name == "placement":
+                segment.deps = mark_dependencies(segment.instrs)
+            for key, count in opt_pass.apply(segment, self.context).items():
+                stats[key] = stats.get(key, 0) + count
+        if segment.deps is None:
+            segment.deps = mark_dependencies(segment.instrs)
+        for key, count in stats.items():
+            self.totals[key] = self.totals.get(key, 0) + count
+        return stats
+
+
+__all__ = ["OptimizationConfig", "OptimizationPass", "PassManager",
+           "PassContext"]

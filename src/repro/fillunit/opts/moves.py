@@ -1,0 +1,97 @@
+"""Register-move marking (paper §4.2).
+
+Two cooperating transformations:
+
+1. **Marking.** Instructions that pass an input operand unchanged to
+   their destination (``ADDI rx <- ry + 0`` and friends) get the 1-bit
+   ``move_flag``. The rename logic then completes them by copying the
+   source mapping — no reservation station, no functional unit, no
+   bypass-network trip.
+
+2. **Dependent rewriting.** Because rename must read the move source's
+   mapping before writing the destination's, trace-internal consumers
+   of the move are rewritten to source the move's *source* register
+   directly, avoiding a cycle of delay (paper: "The fill unit handles
+   this by modifying instructions within the trace cache line which are
+   dependent upon the move operation to be dependent upon the source of
+   the move instead.").
+
+The rewriting uses a per-segment alias map: ``alias[r] == s`` asserts
+that at the current point in the trace, register ``r`` holds the same
+value as register ``s``. Aliases die when either side is redefined.
+"""
+
+from __future__ import annotations
+
+from repro.fillunit.opts.base import OptimizationPass, PassContext
+from repro.isa.instruction import Instruction, move_source
+from repro.isa.opcodes import Format
+from repro.tracecache.segment import TraceSegment
+
+
+def _rewrite_sources(instr: Instruction, alias: dict) -> int:
+    """Rewrite *instr*'s register sources through *alias*; returns the
+    number of operands changed.
+
+    Indirect-jump sources (``JR``/``JALR``) are left alone: rewriting
+    them is architecturally sound but would obscure return-vs-indirect
+    classification, which both the RAS and the segment-termination rule
+    depend on.
+    """
+    fmt = instr.format
+    if fmt in (Format.JR, Format.JALR, Format.J, Format.NONE):
+        return 0
+    changed = 0
+
+    def map_reg(reg):
+        nonlocal changed
+        new = alias.get(reg, reg)
+        if new != reg:
+            changed += 1
+        return new
+
+    if fmt in (Format.R3, Format.LOADX, Format.BR2, Format.STORE):
+        instr.rs = map_reg(instr.rs)
+        instr.rt = map_reg(instr.rt)
+    elif fmt in (Format.R2I, Format.SHIFT, Format.LOAD, Format.BR1):
+        instr.rs = map_reg(instr.rs)
+    elif fmt is Format.STOREX:
+        instr.rd = map_reg(instr.rd)
+        instr.rs = map_reg(instr.rs)
+        instr.rt = map_reg(instr.rt)
+    if changed:
+        instr.move_bypassed = True
+    return changed
+
+
+class RegisterMovePass(OptimizationPass):
+    """Mark register moves; rewrite their trace-internal dependents."""
+
+    name = "moves"
+
+    def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
+        alias: dict = {}
+        marked = 0
+        rewritten_operands = 0
+        for instr in segment.instrs:
+            # Rewrite sources first so detection sees final operands
+            # (a move of a move chains to the ultimate source).
+            rewritten_operands += _rewrite_sources(instr, alias)
+            src = move_source(instr)
+            if src is not None:
+                instr.move_flag = True
+                marked += 1
+            dest = instr.dest()
+            if dest is None:
+                continue
+            # Redefinition of `dest` kills aliases on both sides.
+            alias.pop(dest, None)
+            for key in [k for k, v in alias.items() if v == dest]:
+                alias.pop(key)
+            if instr.move_flag and src != dest:
+                alias[dest] = alias.get(src, src)
+        return {"moves_marked": marked,
+                "move_operands_rewritten": rewritten_operands}
+
+
+__all__ = ["RegisterMovePass"]

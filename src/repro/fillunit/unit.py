@@ -1,0 +1,119 @@
+"""The fill unit proper.
+
+Ties together the collector, branch promotion, dependency marking and
+the optimization passes, and installs finished segments into the trace
+cache after the configured fill-pipeline latency. The fill unit sits
+*behind* retirement — off the critical path — which is the paper's
+entire argument for doing optimization work here: multi-cycle latencies
+through this structure have negligible performance impact (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.bias import BiasTable
+from repro.fillunit.collector import FillCollector, PendingSegment
+from repro.fillunit.dependency import mark_dependencies
+from repro.fillunit.opts.base import OptimizationConfig, PassManager
+from repro.tracecache.cache import TraceCache
+from repro.tracecache.segment import BranchInfo, TraceSegment
+
+
+@dataclass
+class FillUnitConfig:
+    """Fill unit structure and policy."""
+
+    max_instrs: int = 16
+    max_cond_branches: int = 3
+    trace_packing: bool = True
+    latency: int = 5
+    num_clusters: int = 4
+    cluster_size: int = 4
+    optimizations: OptimizationConfig = field(
+        default_factory=OptimizationConfig)
+
+
+@dataclass
+class FillUnitStats:
+    segments_built: int = 0
+    segments_deduped: int = 0
+    instructions_collected: int = 0
+
+
+class FillUnit:
+    """Collect retired blocks, optimize, install into the trace cache."""
+
+    def __init__(self, config: FillUnitConfig, trace_cache: TraceCache,
+                 bias: BiasTable) -> None:
+        self.config = config
+        self.trace_cache = trace_cache
+        self.bias = bias
+        self.collector = FillCollector(
+            bias, config.max_instrs, config.max_cond_branches,
+            config.trace_packing)
+        self.passes = PassManager(config.optimizations,
+                                  config.num_clusters, config.cluster_size,
+                                  bias=bias)
+        self.stats = FillUnitStats()
+
+    # ------------------------------------------------------------------
+
+    def retire(self, record, cycle: int) -> None:
+        """Feed one retired instruction at retirement *cycle*."""
+        self.stats.instructions_collected += 1
+        for candidate in self.collector.add(record):
+            self._build(candidate, cycle)
+
+    def note_fetch_miss(self, pc: int) -> None:
+        """The fetch engine missed the trace cache at *pc*: align an
+        upcoming segment boundary to it (miss-driven construction)."""
+        self.collector.note_fetch_miss(pc)
+
+    def build_segment(self, candidate: PendingSegment) -> TraceSegment:
+        """Construct and optimize a :class:`TraceSegment` from a
+        candidate, without touching the trace cache (exposed for tests
+        and the optimization-tour example)."""
+        instrs = []
+        for idx, record in enumerate(candidate.records):
+            instr = record.instr.copy()
+            instr.block_id = candidate.block_ids[idx]
+            instr.flow_id = candidate.flow_ids[idx]
+            instr.orig_index = idx
+            instrs.append(instr)
+        branches = [BranchInfo(b.index, b.pc, b.direction, b.promoted)
+                    for b in candidate.branches]
+        segment = TraceSegment(
+            start_pc=candidate.start_pc, instrs=instrs, branches=branches,
+            block_count=candidate.block_count,
+            build_promo=tuple(b.promoted for b in candidate.branches))
+        self.passes.run(segment)
+        if segment.deps is None:
+            segment.deps = mark_dependencies(segment.instrs)
+        return segment
+
+    def _build(self, candidate: PendingSegment, cycle: int) -> None:
+        resident = self.trace_cache.probe(candidate.start_pc,
+                                          candidate.path_key)
+        if resident is not None:
+            promo = tuple(b.promoted for b in candidate.branches)
+            if promo == resident.build_promo:
+                # Identical segment already resident: the rebuild is
+                # redundant; keep the line hot instead of re-optimizing.
+                self.trace_cache.touch(candidate.start_pc,
+                                       candidate.path_key)
+                self.stats.segments_deduped += 1
+                return
+            # Same path but promotion state changed: rebuild so the
+            # line's embedded static predictions track the bias table.
+        segment = self.build_segment(candidate)
+        self.trace_cache.insert(segment, cycle, self.config.latency)
+        self.stats.segments_built += 1
+
+    @property
+    def pass_totals(self) -> dict:
+        """Accumulated optimization counts across all built segments."""
+        return dict(self.passes.totals)
+
+
+__all__ = ["FillUnit", "FillUnitConfig", "FillUnitStats"]

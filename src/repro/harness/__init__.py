@@ -1,0 +1,30 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation section.
+
+Typical use::
+
+    from repro.harness import ExperimentRunner, figures, tables
+
+    runner = ExperimentRunner(scale=1.0)
+    fig3 = figures.figure3(runner)
+    print(fig3.render())
+
+Each ``figureN``/``tableN`` function returns a structured result with a
+``render()`` method producing the ASCII equivalent of the paper's
+chart, with paper-reported reference numbers alongside for comparison.
+"""
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness import export, figures, svgchart, sweeps, tables
+from repro.harness.report import render_bar_chart, render_table
+
+__all__ = [
+    "ExperimentRunner",
+    "export",
+    "figures",
+    "svgchart",
+    "sweeps",
+    "tables",
+    "render_bar_chart",
+    "render_table",
+]

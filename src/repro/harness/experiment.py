@@ -1,0 +1,79 @@
+"""Experiment runner: shared trace/result caching for the harness.
+
+Functional execution of a benchmark is identical across machine
+configurations, so the committed trace is computed once per benchmark
+and replayed through as many timing configurations as the figures
+need. Baseline results are likewise cached (every figure compares
+against the same baseline machine).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.core.pipeline import PipelineModel
+from repro.core.results import SimResult
+from repro.fillunit.opts.base import OptimizationConfig
+from repro import workloads
+
+
+class ExperimentRunner:
+    """Runs benchmarks under varying fill-unit configurations."""
+
+    def __init__(self, scale: float = 1.0,
+                 benchmarks: Optional[list] = None) -> None:
+        self.scale = scale
+        self.benchmarks = (list(benchmarks) if benchmarks is not None
+                           else workloads.names())
+        self._traces: dict = {}
+        self._results: dict = {}
+
+    # ------------------------------------------------------------------
+
+    def trace(self, benchmark: str):
+        """The committed trace for *benchmark* (cached)."""
+        if benchmark not in self._traces:
+            from repro.machine.executor import Executor
+            program = workloads.build(benchmark, self.scale)
+            self._traces[benchmark] = Executor(program).run()
+        return self._traces[benchmark]
+
+    def run(self, benchmark: str,
+            optimizations: Optional[OptimizationConfig] = None,
+            fill_latency: int = 5, label: Optional[str] = None) -> SimResult:
+        """Simulate *benchmark* under the given fill-unit setup (cached).
+
+        ``optimizations=None`` means the measured baseline (no trace
+        optimizations).
+        """
+        opts = optimizations if optimizations is not None \
+            else OptimizationConfig.none()
+        key = (benchmark, tuple(sorted(vars(opts).items())), fill_latency)
+        if key not in self._results:
+            config = SimConfig.paper(opts, fill_latency)
+            model = PipelineModel(config)
+            name = label or ("baseline" if not opts.enabled_names()
+                             else "+".join(opts.enabled_names()))
+            self._results[key] = model.run(self.trace(benchmark),
+                                           benchmark=benchmark, label=name)
+        return self._results[key]
+
+    def baseline(self, benchmark: str, fill_latency: int = 5) -> SimResult:
+        return self.run(benchmark, OptimizationConfig.none(), fill_latency)
+
+    def improvement(self, benchmark: str,
+                    optimizations: OptimizationConfig,
+                    fill_latency: int = 5) -> float:
+        """Percent IPC improvement of a configuration over baseline."""
+        optimized = self.run(benchmark, optimizations, fill_latency)
+        return optimized.improvement_over(self.baseline(benchmark,
+                                                        fill_latency))
+
+    def clear(self) -> None:
+        """Drop all cached traces and results."""
+        self._traces.clear()
+        self._results.clear()
+
+
+__all__ = ["ExperimentRunner"]

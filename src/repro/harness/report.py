@@ -1,0 +1,63 @@
+"""ASCII rendering of tables and bar charts for the harness output."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list, rows: list,
+                 title: str = "") -> str:
+    """Render *rows* (sequences of cells) under *headers* with aligned
+    columns. Numeric cells are right-aligned; text cells left-aligned."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    table = [list(map(str, headers))] + cells
+    widths = [max(len(row[col]) for row in table)
+              for col in range(len(headers))]
+
+    def line(row, pad_right):
+        parts = []
+        for col, cell in enumerate(row):
+            if pad_right[col]:
+                parts.append(cell.ljust(widths[col]))
+            else:
+                parts.append(cell.rjust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    numeric = [all(_is_num(row[col]) for row in rows) if rows else False
+               for col in range(len(headers))]
+    pad_right = [not num for num in numeric]
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(table[0], pad_right))
+    out.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        out.append(line(row, pad_right))
+    return "\n".join(out)
+
+
+def render_bar_chart(rows: dict, title: str = "", width: int = 40,
+                     unit: str = "%") -> str:
+    """Horizontal ASCII bar chart of a {label: value} mapping, in the
+    given insertion order (benchmarks keep Table 1 order)."""
+    if not rows:
+        return title
+    peak = max(abs(value) for value in rows.values()) or 1.0
+    label_width = max(len(label) for label in rows)
+    out = [title] if title else []
+    for label, value in rows.items():
+        bar = "#" * max(0, int(round(abs(value) / peak * width)))
+        sign = "-" if value < 0 else ""
+        out.append(f"{label:<{label_width}}  {sign}{bar} {value:.1f}{unit}")
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def _is_num(cell) -> bool:
+    return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+
+__all__ = ["render_table", "render_bar_chart"]

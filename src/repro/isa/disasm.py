@@ -1,0 +1,81 @@
+"""Textual disassembly.
+
+Produces assembly text that the assembler accepts back (round-trip
+property-tested), with fill-unit annotations shown as trailing comments
+so optimized trace segments can be dumped readably.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, op_info
+from repro.isa.registers import reg_name
+
+
+def _r(num: int) -> str:
+    return f"${reg_name(num)}"
+
+
+def disassemble(instr: Instruction, show_annotations: bool = True) -> str:
+    """Render *instr* as assembly text.
+
+    Branch and jump targets are rendered numerically (absolute for
+    jumps, ``pc+offset`` byte displacement for branches), which the
+    assembler accepts.
+    """
+    op = instr.op
+    fmt = op_info(op).format
+    mnem = op.value
+    if fmt is Format.R3:
+        body = f"{mnem} {_r(instr.rd)}, {_r(instr.rs)}, {_r(instr.rt)}"
+    elif fmt is Format.R2I:
+        body = f"{mnem} {_r(instr.rd)}, {_r(instr.rs)}, {instr.imm}"
+    elif fmt is Format.SHIFT:
+        body = f"{mnem} {_r(instr.rd)}, {_r(instr.rs)}, {instr.imm}"
+    elif fmt is Format.LUI:
+        body = f"{mnem} {_r(instr.rd)}, {instr.imm}"
+    elif fmt is Format.LOAD:
+        body = f"{mnem} {_r(instr.rd)}, {instr.imm}({_r(instr.rs)})"
+    elif fmt is Format.STORE:
+        body = f"{mnem} {_r(instr.rt)}, {instr.imm}({_r(instr.rs)})"
+    elif fmt in (Format.LOADX, Format.STOREX):
+        body = f"{mnem} {_r(instr.rd)}, {_r(instr.rs)}, {_r(instr.rt)}"
+    elif fmt is Format.BR2:
+        body = f"{mnem} {_r(instr.rs)}, {_r(instr.rt)}, {instr.imm}"
+    elif fmt is Format.BR1:
+        body = f"{mnem} {_r(instr.rs)}, {instr.imm}"
+    elif fmt is Format.J:
+        body = f"{mnem} {instr.imm}"
+    elif fmt is Format.JR:
+        body = f"{mnem} {_r(instr.rs)}"
+    elif fmt is Format.JALR:
+        body = f"{mnem} {_r(instr.rd)}, {_r(instr.rs)}"
+    else:
+        body = mnem
+    if not show_annotations:
+        return body
+    notes = []
+    if instr.move_flag:
+        notes.append("move")
+    if instr.scale is not None:
+        notes.append(f"scaled({_r(instr.scale.src)}<<{instr.scale.shamt})")
+    if instr.guard is not None:
+        sense = "==0" if instr.guard.execute_if_zero else "!=0"
+        notes.append(f"guard({_r(instr.guard.reg)}{sense})")
+    if instr.reassociated:
+        notes.append("reassoc")
+    if notes:
+        body = f"{body}  ; {', '.join(notes)}"
+    return body
+
+
+def dump_listing(instrs, base_pc: int = 0) -> str:
+    """Render a sequence of instructions as an address-annotated listing."""
+    lines = []
+    for idx, instr in enumerate(instrs):
+        pc = instr.pc if instr.pc is not None else base_pc + 4 * idx
+        lines.append(f"{pc:08x}:  {disassemble(instr)}")
+    return "\n".join(lines)
+
+
+__all__ = ["disassemble", "dump_listing"]

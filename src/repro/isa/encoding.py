@@ -1,0 +1,196 @@
+"""32-bit binary instruction encoding.
+
+The encoding is MIPS-shaped: a 6-bit primary opcode with R/I/J formats,
+a SPECIAL (0x00) function field for three-register operations, a REGIMM
+(0x01) group for the single-register compare branches, and a SPECIAL2
+(0x1C) group for the SimpleScalar-style indexed memory operations.
+
+Immediates are canonically *signed* 16-bit values throughout the
+library (see :mod:`repro.isa.semantics`); branch displacements are byte
+offsets from the branch's own PC, stored as word offsets in the
+immediate field; jump targets are absolute byte addresses stored as
+word addresses in the 26-bit field.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Op, op_info
+
+_SPECIAL = 0x00
+_REGIMM = 0x01
+_SPECIAL2 = 0x1C
+
+_R_FUNCT = {
+    Op.SLL: 0x00, Op.SRL: 0x02, Op.SRA: 0x03,
+    Op.SLLV: 0x04, Op.SRLV: 0x06, Op.SRAV: 0x07,
+    Op.JR: 0x08, Op.JALR: 0x09, Op.SYSCALL: 0x0C, Op.HALT: 0x0D,
+    Op.MULT: 0x18, Op.DIV: 0x1A,
+    Op.ADD: 0x20, Op.SUB: 0x22, Op.AND: 0x24, Op.OR: 0x25,
+    Op.XOR: 0x26, Op.NOR: 0x27, Op.SLT: 0x2A, Op.SLTU: 0x2B,
+    Op.NOP: 0x3E,
+}
+_R_FUNCT_INV = {v: k for k, v in _R_FUNCT.items()}
+
+_S2_FUNCT = {Op.LWX: 0x00, Op.LBX: 0x01, Op.SWX: 0x02, Op.SBX: 0x03}
+_S2_FUNCT_INV = {v: k for k, v in _S2_FUNCT.items()}
+
+_I_OPCODE = {
+    Op.BEQ: 0x04, Op.BNE: 0x05, Op.BLEZ: 0x06, Op.BGTZ: 0x07,
+    Op.ADDI: 0x08, Op.SLTI: 0x0A, Op.SLTIU: 0x0B,
+    Op.ANDI: 0x0C, Op.ORI: 0x0D, Op.XORI: 0x0E, Op.LUI: 0x0F,
+    Op.LB: 0x20, Op.LH: 0x21, Op.LW: 0x23, Op.LBU: 0x24, Op.LHU: 0x25,
+    Op.SB: 0x28, Op.SH: 0x29, Op.SW: 0x2B,
+}
+_I_OPCODE_INV = {v: k for k, v in _I_OPCODE.items()}
+
+_REGIMM_RT = {Op.BLTZ: 0x00, Op.BGEZ: 0x01}
+_REGIMM_RT_INV = {v: k for k, v in _REGIMM_RT.items()}
+
+_J_OPCODE = {Op.J: 0x02, Op.JAL: 0x03}
+_J_OPCODE_INV = {v: k for k, v in _J_OPCODE.items()}
+
+
+def _u16(value: int, what: str) -> int:
+    if not -32768 <= value <= 32767:
+        raise EncodingError(f"{what} {value} does not fit in signed 16 bits")
+    return value & 0xFFFF
+
+
+def _sext16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode *instr* into its 32-bit word.
+
+    Fill-unit annotations are *not* encoded; they exist only inside the
+    trace cache (the paper stores them as 7 extra pre-decode bits per
+    instruction, outside the architected 4-byte word).
+
+    Raises:
+        EncodingError: for out-of-range fields or unencodable opcodes.
+    """
+    op = instr.op
+    fmt = op_info(op).format
+    if op in _R_FUNCT:
+        funct = _R_FUNCT[op]
+        rd = instr.rd or 0
+        rs = instr.rs or 0
+        rt = instr.rt or 0
+        shamt = 0
+        if fmt is Format.SHIFT:
+            shamt = instr.imm or 0
+            if not 0 <= shamt <= 31:
+                raise EncodingError(f"shift amount {shamt} out of range")
+        return (_SPECIAL << 26) | (rs << 21) | (rt << 16) | (rd << 11) \
+            | (shamt << 6) | funct
+    if op in _S2_FUNCT:
+        rd = instr.rd or 0
+        rs = instr.rs or 0
+        rt = instr.rt or 0
+        return (_SPECIAL2 << 26) | (rs << 21) | (rt << 16) | (rd << 11) \
+            | _S2_FUNCT[op]
+    if op in _REGIMM_RT:
+        offset = _encode_branch_offset(instr)
+        return (_REGIMM << 26) | ((instr.rs or 0) << 21) \
+            | (_REGIMM_RT[op] << 16) | offset
+    if op in _J_OPCODE:
+        target = instr.imm or 0
+        if target % 4 or not 0 <= target < (1 << 28):
+            raise EncodingError(f"jump target {target:#x} unencodable")
+        return (_J_OPCODE[op] << 26) | (target >> 2)
+    if op in _I_OPCODE:
+        code = _I_OPCODE[op]
+        if fmt in (Format.BR2, Format.BR1):
+            rs, rt = instr.rs or 0, instr.rt or 0
+            return (code << 26) | (rs << 21) | (rt << 16) \
+                | _encode_branch_offset(instr)
+        if fmt is Format.LUI:
+            return (code << 26) | ((instr.rd or 0) << 16) \
+                | _u16(instr.imm or 0, "immediate")
+        if fmt is Format.LOAD:
+            return (code << 26) | ((instr.rs or 0) << 21) \
+                | ((instr.rd or 0) << 16) | _u16(instr.imm or 0, "offset")
+        if fmt is Format.STORE:
+            return (code << 26) | ((instr.rs or 0) << 21) \
+                | ((instr.rt or 0) << 16) | _u16(instr.imm or 0, "offset")
+        # R2I arithmetic: rd in the rt field, MIPS-style.
+        return (code << 26) | ((instr.rs or 0) << 21) \
+            | ((instr.rd or 0) << 16) | _u16(instr.imm or 0, "immediate")
+    raise EncodingError(f"opcode {op.name} has no binary encoding")
+
+
+def _encode_branch_offset(instr: Instruction) -> int:
+    offset = instr.imm or 0
+    if offset % 4:
+        raise EncodingError(f"branch offset {offset} not word aligned")
+    words = offset >> 2
+    if not -32768 <= words <= 32767:
+        raise EncodingError(f"branch offset {offset} out of range")
+    return words & 0xFFFF
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises:
+        EncodingError: for unknown opcodes or function codes.
+    """
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise EncodingError(f"word {word:#x} is not 32 bits")
+    if word == 0:
+        return Instruction(Op.NOP)
+    code = word >> 26
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm16 = _sext16(word)
+
+    if code == _SPECIAL:
+        if funct not in _R_FUNCT_INV:
+            raise EncodingError(f"unknown SPECIAL funct {funct:#x}")
+        op = _R_FUNCT_INV[funct]
+        fmt = op_info(op).format
+        if fmt is Format.SHIFT:
+            return Instruction(op, rd=rd, rs=rs, imm=shamt)
+        if fmt is Format.JR:
+            return Instruction(op, rs=rs)
+        if fmt is Format.JALR:
+            return Instruction(op, rd=rd, rs=rs)
+        if fmt is Format.NONE:
+            return Instruction(op)
+        return Instruction(op, rd=rd, rs=rs, rt=rt)
+    if code == _SPECIAL2:
+        if funct not in _S2_FUNCT_INV:
+            raise EncodingError(f"unknown SPECIAL2 funct {funct:#x}")
+        op = _S2_FUNCT_INV[funct]
+        return Instruction(op, rd=rd, rs=rs, rt=rt)
+    if code == _REGIMM:
+        if rt not in _REGIMM_RT_INV:
+            raise EncodingError(f"unknown REGIMM rt {rt:#x}")
+        return Instruction(_REGIMM_RT_INV[rt], rs=rs, imm=imm16 << 2)
+    if code in _J_OPCODE_INV:
+        return Instruction(_J_OPCODE_INV[code], imm=(word & 0x3FFFFFF) << 2)
+    if code in _I_OPCODE_INV:
+        op = _I_OPCODE_INV[code]
+        fmt = op_info(op).format
+        if fmt is Format.BR2:
+            return Instruction(op, rs=rs, rt=rt, imm=imm16 << 2)
+        if fmt is Format.BR1:
+            return Instruction(op, rs=rs, imm=imm16 << 2)
+        if fmt is Format.LUI:
+            return Instruction(op, rd=rt, imm=imm16)
+        if fmt is Format.LOAD:
+            return Instruction(op, rd=rt, rs=rs, imm=imm16)
+        if fmt is Format.STORE:
+            return Instruction(op, rt=rt, rs=rs, imm=imm16)
+        return Instruction(op, rd=rt, rs=rs, imm=imm16)
+    raise EncodingError(f"unknown primary opcode {code:#x}")
+
+
+__all__ = ["encode", "decode"]

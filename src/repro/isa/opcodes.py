@@ -1,0 +1,203 @@
+"""Opcode enumeration and static per-opcode metadata.
+
+The opcode set is a compact MIPS-IV-like integer ISA in the spirit of
+SimpleScalar 2.0: no branch delay slots, and indexed (register+register)
+memory operations (``LWX``/``LBX``/``SWX``/``SBX``), which the paper's
+scaled-add optimization targets for address arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Format(enum.Enum):
+    """Operand format of an instruction (assembly syntax shape)."""
+
+    R3 = "rd, rs, rt"          # rd <- rs op rt
+    R2I = "rd, rs, imm"        # rd <- rs op imm
+    SHIFT = "rd, rs, shamt"    # rd <- rs shift shamt (shamt held in imm)
+    LUI = "rd, imm"            # rd <- imm << 16
+    LOAD = "rd, imm(rs)"       # rd <- MEM[rs + imm]
+    STORE = "rt, imm(rs)"      # MEM[rs + imm] <- rt
+    LOADX = "rd, rs, rt (load)"    # rd <- MEM[rs + rt]
+    STOREX = "rd, rs, rt (store)"  # MEM[rs + rt] <- rd (value in rd)
+    BR2 = "rs, rt, label"      # conditional, compares two registers
+    BR1 = "rs, label"          # conditional, compares rs against zero
+    J = "label"                # unconditional direct
+    JR = "rs"                  # unconditional indirect
+    JALR = "rd, rs"            # indirect call, link in rd
+    NONE = ""                  # no operands
+
+
+class OpClass(enum.Enum):
+    """Execution class, used for latency and functional-unit policy."""
+
+    IALU = "ialu"
+    SHIFT = "shift"
+    MULT = "mult"
+    DIV = "div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"        # conditional direct branch
+    JUMP = "jump"            # unconditional direct jump
+    CALL = "call"            # direct or indirect call (links ra)
+    INDIRECT = "indirect"    # unconditional indirect jump (JR)
+    SYSCALL = "syscall"      # serializing
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    format: Format
+    opclass: OpClass
+    latency: int
+
+
+class Op(enum.Enum):
+    """All architected opcodes."""
+
+    # Three-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOR = "nor"
+    SLT = "slt"
+    SLTU = "sltu"
+    SLLV = "sllv"
+    SRLV = "srlv"
+    SRAV = "srav"
+    MULT = "mult"
+    DIV = "div"
+    # Register-immediate ALU.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLTI = "slti"
+    SLTIU = "sltiu"
+    # Immediate shifts.
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    LUI = "lui"
+    # Loads and stores (displacement and indexed forms).
+    LW = "lw"
+    LH = "lh"
+    LHU = "lhu"
+    LB = "lb"
+    LBU = "lbu"
+    SW = "sw"
+    SH = "sh"
+    SB = "sb"
+    LWX = "lwx"
+    LBX = "lbx"
+    SWX = "swx"
+    SBX = "sbx"
+    # Control transfer.
+    BEQ = "beq"
+    BNE = "bne"
+    BLEZ = "blez"
+    BGTZ = "bgtz"
+    BLTZ = "bltz"
+    BGEZ = "bgez"
+    J = "j"
+    JAL = "jal"
+    JR = "jr"
+    JALR = "jalr"
+    # System.
+    SYSCALL = "syscall"
+    HALT = "halt"
+    NOP = "nop"
+
+
+_I = OpInfo
+
+_OP_INFO: dict[Op, OpInfo] = {
+    Op.ADD: _I(Format.R3, OpClass.IALU, 1),
+    Op.SUB: _I(Format.R3, OpClass.IALU, 1),
+    Op.AND: _I(Format.R3, OpClass.IALU, 1),
+    Op.OR: _I(Format.R3, OpClass.IALU, 1),
+    Op.XOR: _I(Format.R3, OpClass.IALU, 1),
+    Op.NOR: _I(Format.R3, OpClass.IALU, 1),
+    Op.SLT: _I(Format.R3, OpClass.IALU, 1),
+    Op.SLTU: _I(Format.R3, OpClass.IALU, 1),
+    Op.SLLV: _I(Format.R3, OpClass.SHIFT, 1),
+    Op.SRLV: _I(Format.R3, OpClass.SHIFT, 1),
+    Op.SRAV: _I(Format.R3, OpClass.SHIFT, 1),
+    Op.MULT: _I(Format.R3, OpClass.MULT, 3),
+    Op.DIV: _I(Format.R3, OpClass.DIV, 12),
+    Op.ADDI: _I(Format.R2I, OpClass.IALU, 1),
+    Op.ANDI: _I(Format.R2I, OpClass.IALU, 1),
+    Op.ORI: _I(Format.R2I, OpClass.IALU, 1),
+    Op.XORI: _I(Format.R2I, OpClass.IALU, 1),
+    Op.SLTI: _I(Format.R2I, OpClass.IALU, 1),
+    Op.SLTIU: _I(Format.R2I, OpClass.IALU, 1),
+    Op.SLL: _I(Format.SHIFT, OpClass.SHIFT, 1),
+    Op.SRL: _I(Format.SHIFT, OpClass.SHIFT, 1),
+    Op.SRA: _I(Format.SHIFT, OpClass.SHIFT, 1),
+    Op.LUI: _I(Format.LUI, OpClass.IALU, 1),
+    Op.LW: _I(Format.LOAD, OpClass.LOAD, 1),
+    Op.LH: _I(Format.LOAD, OpClass.LOAD, 1),
+    Op.LHU: _I(Format.LOAD, OpClass.LOAD, 1),
+    Op.LB: _I(Format.LOAD, OpClass.LOAD, 1),
+    Op.LBU: _I(Format.LOAD, OpClass.LOAD, 1),
+    Op.SW: _I(Format.STORE, OpClass.STORE, 1),
+    Op.SH: _I(Format.STORE, OpClass.STORE, 1),
+    Op.SB: _I(Format.STORE, OpClass.STORE, 1),
+    Op.LWX: _I(Format.LOADX, OpClass.LOAD, 1),
+    Op.LBX: _I(Format.LOADX, OpClass.LOAD, 1),
+    Op.SWX: _I(Format.STOREX, OpClass.STORE, 1),
+    Op.SBX: _I(Format.STOREX, OpClass.STORE, 1),
+    Op.BEQ: _I(Format.BR2, OpClass.BRANCH, 1),
+    Op.BNE: _I(Format.BR2, OpClass.BRANCH, 1),
+    Op.BLEZ: _I(Format.BR1, OpClass.BRANCH, 1),
+    Op.BGTZ: _I(Format.BR1, OpClass.BRANCH, 1),
+    Op.BLTZ: _I(Format.BR1, OpClass.BRANCH, 1),
+    Op.BGEZ: _I(Format.BR1, OpClass.BRANCH, 1),
+    Op.J: _I(Format.J, OpClass.JUMP, 1),
+    Op.JAL: _I(Format.J, OpClass.CALL, 1),
+    Op.JR: _I(Format.JR, OpClass.INDIRECT, 1),
+    Op.JALR: _I(Format.JALR, OpClass.CALL, 1),
+    Op.SYSCALL: _I(Format.NONE, OpClass.SYSCALL, 1),
+    Op.HALT: _I(Format.NONE, OpClass.SYSCALL, 1),
+    Op.NOP: _I(Format.NONE, OpClass.NOP, 1),
+}
+
+_BY_MNEMONIC = {op.value: op for op in Op}
+
+
+def op_info(op: Op) -> OpInfo:
+    """Return the static :class:`OpInfo` for *op*."""
+    return _OP_INFO[op]
+
+
+def op_by_mnemonic(mnemonic: str) -> Op:
+    """Look an opcode up by assembly mnemonic.
+
+    Raises:
+        KeyError: if the mnemonic is unknown.
+    """
+    return _BY_MNEMONIC[mnemonic.lower()]
+
+
+#: Opcodes whose result may be produced by the scaled-add execution path
+#: (an add, or any memory address computation — the paper allows small
+#: immediate shifts to combine with dependent adds and with dependent
+#: load/store instructions); targets for scaled-add collapsing.
+SCALED_ADD_TARGETS = frozenset({
+    Op.ADD, Op.LWX, Op.LBX, Op.SWX, Op.SBX,
+    Op.LW, Op.LH, Op.LHU, Op.LB, Op.LBU, Op.SW, Op.SH, Op.SB,
+})
+
+#: Immediate shift opcodes that can act as the shift half of a
+#: scaled-add pair (short left shifts only, per the paper's <=3 bits).
+SCALED_ADD_SHIFTS = frozenset({Op.SLL})
+
+#: Immediate-add opcodes eligible for reassociation.
+REASSOCIABLE = frozenset({Op.ADDI})

@@ -1,0 +1,6 @@
+"""Program images: assembled code plus initialized data."""
+
+from repro.program.image import Program
+from repro.program.loader import load_program
+
+__all__ = ["Program", "load_program"]

@@ -1,0 +1,7 @@
+"""Trace cache: multi-block instruction segments in physically
+contiguous storage, plus the set-associative structure that holds them."""
+
+from repro.tracecache.segment import TraceSegment, BranchInfo
+from repro.tracecache.cache import TraceCache, TraceCacheConfig
+
+__all__ = ["TraceSegment", "BranchInfo", "TraceCache", "TraceCacheConfig"]

@@ -1,0 +1,134 @@
+"""Trace segments.
+
+A segment is up to 16 instructions from one dynamic path of execution,
+spanning several basic blocks (trace packing packs across block
+boundaries), containing at most three *unpromoted* conditional branches
+(promoted branches carry an embedded static prediction and do not
+consume a predictor slot). Returns, indirect jumps and serializing
+instructions terminate a segment; calls and direct jumps do not.
+
+Instructions inside a segment are *copies* of the architected
+instructions: the fill unit annotates and rewrites them freely without
+touching the program image. ``slots[i]`` is the issue slot (and thus
+execution cluster) assigned to logical instruction ``i`` — identity
+until the placement pass reassigns it; the logical order itself is
+never permuted, mirroring the paper's alternative implementation where
+a 4-bit field conveys placement while original order information is
+retained for the memory scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SegmentError
+
+
+@dataclass
+class BranchInfo:
+    """Fetch-relevant facts about one conditional branch in a segment."""
+
+    index: int          # logical position within the segment
+    pc: int
+    direction: bool     # the embedded (path) direction
+    promoted: bool      # statically predicted via the bias table
+
+
+@dataclass
+class TraceSegment:
+    """One trace cache line."""
+
+    start_pc: int
+    instrs: list
+    branches: list = field(default_factory=list)
+    slots: list = field(default_factory=list)
+    block_count: int = 1
+    fill_cycle: int = 0
+    deps: Optional[object] = None   # DependencyInfo, set by the fill unit
+    #: promotion state of the candidate's branches at build time, used
+    #: by the fill unit's dedup (passes may remove branch records —
+    #: e.g. predication — so the live list cannot be compared).
+    build_promo: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            self.slots = list(range(len(self.instrs)))
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def path_key(self) -> tuple:
+        """Identity of the embedded path: the PC sequence."""
+        return tuple(instr.pc for instr in self.instrs)
+
+    @property
+    def unpromoted_branch_count(self) -> int:
+        return sum(1 for b in self.branches if not b.promoted)
+
+    def validate(self, max_instrs: int = 16,
+                 max_cond_branches: int = 3) -> None:
+        """Check the structural invariants the fill unit must maintain.
+
+        Raises:
+            SegmentError: on any violation.
+        """
+        if not self.instrs:
+            raise SegmentError("empty segment")
+        if len(self.instrs) > max_instrs:
+            raise SegmentError(
+                f"segment has {len(self.instrs)} instructions "
+                f"(max {max_instrs})")
+        if self.unpromoted_branch_count > max_cond_branches:
+            raise SegmentError(
+                f"segment has {self.unpromoted_branch_count} unpromoted "
+                f"conditional branches (max {max_cond_branches})")
+        if self.instrs[0].pc != self.start_pc:
+            raise SegmentError("start_pc does not match first instruction")
+        for instr in self.instrs[:-1]:
+            if instr.terminates_segment():
+                raise SegmentError(
+                    f"{instr.op.value} at {instr.pc:#x} must terminate "
+                    f"the segment but is not last")
+        if sorted(self.slots) != list(range(len(self.instrs))):
+            raise SegmentError("slot assignment is not a permutation")
+        positions = [b.index for b in self.branches]
+        if positions != sorted(positions):
+            raise SegmentError("branch records out of order")
+        for info in self.branches:
+            instr = self.instrs[info.index]
+            if not instr.is_cond_branch():
+                raise SegmentError(
+                    f"branch record at index {info.index} does not point "
+                    f"at a conditional branch")
+            if instr.pc != info.pc:
+                raise SegmentError("branch record PC mismatch")
+
+    # -- statistics helpers --------------------------------------------
+
+    def optimized_counts(self) -> dict:
+        """Per-optimization transformed-instruction counts (Table 2)."""
+        moves = sum(1 for i in self.instrs if i.move_flag)
+        reassoc = sum(1 for i in self.instrs if i.reassociated)
+        scaled = sum(1 for i in self.instrs if i.scale is not None)
+        any_opt = sum(1 for i in self.instrs
+                      if i.move_flag or i.reassociated or i.scale is not None)
+        return {"moves": moves, "reassoc": reassoc, "scaled": scaled,
+                "any": any_opt}
+
+    def listing(self) -> str:
+        """Readable dump: slot, cluster, annotations per instruction."""
+        from repro.isa.disasm import disassemble
+        lines = [f"segment @ {self.start_pc:#x} "
+                 f"({len(self.instrs)} instrs, {self.block_count} blocks)"]
+        for idx, instr in enumerate(self.instrs):
+            slot = self.slots[idx]
+            lines.append(f"  [{idx:2d}] slot={slot:2d} cl={slot // 4} "
+                         f"{disassemble(instr)}")
+        return "\n".join(lines)
+
+
+__all__ = ["TraceSegment", "BranchInfo"]

@@ -1,0 +1,87 @@
+"""Assembly-construction helper for the workload generators.
+
+Workload modules build programs by emitting assembly text through an
+:class:`AsmBuilder`: it manages unique labels, the data section, and
+final assembly, keeping the generators readable and collision-free when
+several library fragments are combined into one program.
+"""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.program.image import Program
+
+
+class AsmBuilder:
+    """Accumulates text/data sections and assembles the result."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._text: list = []
+        self._data: list = []
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+
+    def label(self, hint: str = "L") -> str:
+        """A fresh unique label."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def emit(self, *lines: str) -> None:
+        """Append instruction/label lines to the text section."""
+        self._text.extend(lines)
+
+    def comment(self, text: str) -> None:
+        self._text.append(f"    # {text}")
+
+    def func(self, name: str) -> None:
+        """Begin a function: emits its entry label."""
+        self._text.append(f"{name}:")
+
+    # -- data ------------------------------------------------------------
+
+    def data_words(self, label: str, values) -> str:
+        """A labelled ``.word`` array; returns the label."""
+        chunks = [f"{label}: .word {', '.join(str(v) for v in values[:16])}"]
+        rest = list(values[16:])
+        while rest:
+            chunk, rest = rest[:16], rest[16:]
+            chunks.append(f"    .word {', '.join(str(v) for v in chunk)}")
+        self._data.extend(chunks)
+        return label
+
+    def data_space(self, label: str, size_bytes: int) -> str:
+        """A labelled zero-filled region; returns the label."""
+        self._data.append(f"{label}: .space {size_bytes}")
+        return label
+
+    # ------------------------------------------------------------------
+
+    def source(self) -> str:
+        parts = []
+        if self._data:
+            parts.append(".data")
+            parts.append(".align 4")
+            parts.extend(self._data)
+        parts.append(".text")
+        parts.extend(self._text)
+        return "\n".join(parts) + "\n"
+
+    def build(self) -> Program:
+        """Assemble the accumulated program."""
+        return assemble(self.source(), name=self.name)
+
+
+def lcg_values(seed: int, count: int, modulus: int = 1 << 16) -> list:
+    """Deterministic pseudo-random data for workload arrays (a small
+    LCG, reproducible across runs and platforms)."""
+    values = []
+    state = seed & 0x7FFFFFFF
+    for _ in range(count):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        values.append(state % modulus)
+    return values
+
+
+__all__ = ["AsmBuilder", "lcg_values"]

@@ -1,0 +1,20 @@
+"""Benchmark suite modules. Importing this package registers all
+fifteen benchmarks with :mod:`repro.workloads.registry`."""
+
+from repro.workloads.suites import (  # noqa: F401
+    compress,
+    gcc,
+    go,
+    ijpeg,
+    li,
+    m88ksim,
+    perl,
+    vortex,
+    gnuchess,
+    ghostscript,
+    pgp,
+    gnuplot,
+    python_bm,
+    sim_outorder,
+    tex,
+)

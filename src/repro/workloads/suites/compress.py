@@ -1,0 +1,54 @@
+"""compress stand-in.
+
+SPEC's compress is LZW: dictionary hashing over the input stream plus
+bulk buffer movement. The kernel mirrors that: a hash-probe-update loop
+(long mixing shifts, a short scaled index), word-copy loops, and a
+little serial bit work. Optimization fingerprint target (paper
+Table 2): 3.0% moves / 1.5% reassoc / 3.8% scaled adds.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("compress")
+    b.data_space("htab", 256 * 4)
+    b.data_words("inbuf", lcg_values(30000, 64))
+    b.data_space("outbuf", 64 * 4)
+    b.data_words("codes", lcg_values(9, 64, 4096))
+
+    synth.emit_hash_loop(b, "hash_update", "htab", 0xFF, feedback=True)
+    synth.emit_copy_loop(b, "block_copy", "inbuf", "outbuf")
+    synth.emit_bitmix(b, "output_bits")
+    synth.emit_struct_chain(b, "dict_entry")
+
+    phases = [
+        ("hash_update",
+         ["    li   $a0, 24",
+          "    move $a1, $s2"],
+         ["    add  $s2, $s2, $v0"]),
+        ("block_copy",
+         ["    li   $a0, 48"],
+         ["    add  $s2, $s2, $v0"]),
+        ("output_bits",
+         ["    li   $a0, 20",
+          "    move $a1, $s2"],
+         ["    add  $s2, $s2, $v0"]),
+        ("dict_entry",
+         ["    la   $t0, codes",
+          "    andi $t1, $s1, 7",
+          "    sll  $t1, $t1, 5",
+          "    add  $t2, $t0, $t1",
+          "    addi $a0, $t2, 4"],
+         ["    add  $s2, $s2, $v0"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(44 * scale)))
+    return b.build()
+
+
+registry.register("compress", build,
+                  "LZW-style dictionary hashing + buffer movement")

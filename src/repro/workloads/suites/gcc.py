@@ -1,0 +1,71 @@
+"""gcc stand-in.
+
+gcc is the classic poor-locality integer code: a large number of
+distinct medium-hot routines touched in rotation (RTL passes), mixing
+symbol hashing, list/tree walking and structure-field access. The
+kernel emphasizes *code footprint*: eight distinct routines (several
+struct-chain variants, two hash tables, list and copy loops) all touched
+every outer iteration, pressuring the 4KB L1I and the trace cache.
+Fingerprint target: 6.4% moves / 2.2% reassoc / 3.1% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("gcc")
+    b.data_space("symtab", 128 * 4)
+    b.data_space("rtltab", 128 * 4)
+    b.data_words("rtlmem", lcg_values(157, 96, 4096))
+    b.data_space("insns", 64 * 4)
+    nodes = synth.linked_list_words(40, lambda i: f"uselist+{8 * i}")
+    b.data_words("uselist", nodes)
+
+    synth.emit_hash_loop(b, "sym_hash", "symtab", 0x7F)
+    synth.emit_hash_loop(b, "rtl_hash", "rtltab", 0x7F)
+    synth.emit_struct_chain(b, "walk_rtx")
+    synth.emit_struct_chain(b, "walk_insn")
+    synth.emit_struct_chain(b, "note_stores")
+    synth.emit_list_walk(b, "du_chain", "uselist")
+    synth.emit_copy_loop(b, "emit_insns", "rtlmem", "insns")
+    synth.emit_array_sum_scaled(b, "reg_scan", "rtlmem", 64)
+
+    def struct_args(slot_reg_shift):
+        return [
+            "    la   $t0, rtlmem",
+            f"    andi $t1, $s1, {slot_reg_shift}",
+            "    sll  $t1, $t1, 5",
+            "    add  $t2, $t0, $t1",
+            "    addi $a0, $t2, 4",
+        ]
+
+    phases = [
+        ("sym_hash",
+         ["    li   $a0, 10", "    move $a1, $s2"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("walk_rtx", struct_args(7),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("du_chain", [],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("rtl_hash",
+         ["    li   $a0, 10", "    move $a1, $s1"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("walk_insn", struct_args(5),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("emit_insns", ["    li   $a0, 36"],
+         ["    add  $s2, $s2, $v0"]),
+        ("note_stores", struct_args(3),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("reg_scan", ["    li   $a0, 40"],
+         ["    add  $s2, $s2, $v0"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(36 * scale)))
+    return b.build()
+
+
+registry.register("gcc", build,
+                  "compiler-pass rotation: hashing, IR walking, emission")

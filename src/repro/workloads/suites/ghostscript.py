@@ -1,0 +1,60 @@
+"""ghostscript stand-in.
+
+PostScript rendering: graphics-state structures accessed through
+constant offsets across the interpreter's branchy state machine
+(reassociation-rich at 7.9%), plus curve evaluation and span fills.
+Fingerprint target: 4.6% moves / 7.9% reassoc / 1.9% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("ghostscript")
+    b.data_words("gstate", lcg_values(180, 128, 4096))
+    b.data_words("path", lcg_values(31, 64, 1024))
+    b.data_space("raster", 96 * 4)
+    b.data_words("curve", lcg_values(5, 32, 64))
+
+    synth.emit_field_chain(b, "gs_setdash", depth=6)
+    synth.emit_field_chain(b, "gs_stroke", depth=6)
+    synth.emit_field_chain(b, "gs_fill", depth=4)
+    synth.emit_struct_chain(b, "gs_clip")
+    synth.emit_poly_eval(b, "bezier_eval", "curve", 12)
+    synth.emit_copy_loop(b, "fill_span", "path", "raster")
+
+    def gs_args(mask, offset):
+        return [
+            "    la   $t0, gstate",
+            f"    andi $t1, $s2, {mask}",
+            "    sll  $t1, $t1, 4",
+            "    add  $t2, $t0, $t1",
+            f"    addi $a0, $t2, {offset}",
+        ]
+
+    phases = [
+        ("gs_setdash", gs_args(7, 4),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("bezier_eval", ["    andi $a0, $s1, 15"],
+         ["    add  $s2, $s2, $v0"]),
+        ("gs_stroke", gs_args(15, 8),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("gs_fill", gs_args(5, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("fill_span", ["    li   $a0, 16"],
+         ["    add  $s2, $s2, $v0"]),
+        ("gs_clip", gs_args(3, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("gs_stroke", gs_args(9, 4),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(60 * scale)))
+    return b.build()
+
+
+registry.register("ghostscript", build,
+                  "graphics-state interpreter + curve/span rendering")

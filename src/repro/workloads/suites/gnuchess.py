@@ -1,0 +1,72 @@
+"""gnuchess stand-in.
+
+Chess evaluation reads board structures through constant-offset chains
+spanning the evaluation function's branch tree (the paper's #2
+reassociation benchmark at 10.4%, +23% IPC), scans attack tables with
+scaled indexing, and searches recursively. Moves are rare (3.4%).
+Fingerprint target: 3.4% moves / 10.4% reassoc / 5.7% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("gnuchess")
+    b.data_words("board", lcg_values(64, 64, 13))
+    # attack is an index-permutation array: attack[i] in [0, 127].
+    b.data_words("attack", [(v * 73 + 11) % 128
+                            for v in lcg_values(13, 128, 128)])
+    b.data_words("pieces", lcg_values(7, 96, 4096))
+
+    synth.emit_field_chain(b, "eval_pawns", depth=7)
+    synth.emit_field_chain(b, "eval_king", depth=6)
+    synth.emit_struct_chain(b, "eval_mobility")
+    synth.emit_index_chase(b, "attack_scan", "attack")
+    synth.emit_array_sum_scaled(b, "material_sum", "pieces", 96)
+    synth.emit_recursive_walk(b, "alphabeta")
+
+    def piece_args(mask, offset):
+        return [
+            "    la   $t0, pieces",
+            f"    andi $t1, $s2, {mask}",
+            "    sll  $t1, $t1, 4",
+            "    add  $t2, $t0, $t1",
+            f"    addi $a0, $t2, {offset}",
+        ]
+
+    phases = [
+        ("eval_pawns", piece_args(7, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("attack_scan",
+         ["    li   $a0, 18", "    andi $a1, $s2, 63"],
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_king", piece_args(3, 8),
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_pawns", piece_args(13, 8),
+         ["    add  $s2, $s2, $v0"]),
+        ("material_sum", ["    li   $a0, 20"],
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_mobility", piece_args(15, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_king", piece_args(9, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_pawns", piece_args(31, 4),
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_mobility", piece_args(5, 8),
+         ["    add  $s2, $s2, $v0"]),
+        ("eval_king", piece_args(21, 8),
+         ["    add  $s2, $s2, $v0"]),
+        ("alphabeta",
+         ["    li   $a0, 1", "    move $a1, $s1"],
+         ["    add  $s2, $s2, $v0"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(72 * scale)))
+    return b.build()
+
+
+registry.register("gnuchess", build,
+                  "position evaluation: offset chains + attack-table scans")

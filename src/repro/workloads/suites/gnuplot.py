@@ -1,0 +1,50 @@
+"""gnuplot stand-in.
+
+Plotting: curve evaluation (multiply-accumulate with constant register
+shuffling — the paper's #1 move benchmark at 11.3%), coordinate
+transform glue that copies values between register roles, and point
+buffer emission. Fingerprint target: 11.3% moves / 1.4% reassoc /
+2.3% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("gnuplot")
+    b.data_words("coeffs", lcg_values(284, 24, 64))
+    b.data_words("samples", lcg_values(3, 96, 1024))
+    b.data_space("points", 96 * 4)
+
+    synth.emit_poly_eval(b, "eval_curve", "coeffs", 16)
+    synth.emit_list_walk(b, "axis_ticks", "ticklist")
+    nodes = synth.linked_list_words(20, lambda i: f"ticklist+{8 * i}")
+    b.data_words("ticklist", nodes)
+    synth.emit_copy_loop(b, "emit_points", "samples", "points")
+    synth.emit_array_sum_scaled(b, "autoscale", "samples", 96)
+
+    phases = [
+        ("eval_curve", ["    andi $a0, $s1, 63"],
+         ["    move $a3, $v0", "    move $a2, $a3",
+          "    add  $s2, $s2, $a2"]),
+        ("axis_ticks", [],
+         ["    move $a3, $v0", "    move $a2, $a3",
+          "    add  $s2, $s2, $a2"]),
+        ("eval_curve", ["    andi $a0, $s2, 31"],
+         ["    move $a3, $v0", "    move $a2, $a3",
+          "    add  $s2, $s2, $a2"]),
+        ("autoscale", ["    li   $a0, 24"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("emit_points", ["    li   $a0, 48"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(52 * scale)))
+    return b.build()
+
+
+registry.register("gnuplot", build,
+                  "curve evaluation with move-heavy transform glue")

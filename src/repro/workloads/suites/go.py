@@ -1,0 +1,55 @@
+"""go stand-in.
+
+The Go player is dominated by board-array scans — dense shift+add
+index arithmetic over small integer arrays (the paper's strongest
+scaled-add benchmark at 9.6% of the stream) — including chain-following
+through index-linked group lists, where the shift sits on the loop
+recurrence itself. Moves and reassociable chains are rare.
+Fingerprint target: 2.5% moves / 0.7% reassoc / 9.6% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("go")
+    b.data_words("board", lcg_values(2, 361, 4))
+    # Group membership is an index-linked chain: groups[i] -> next stone.
+    b.data_words("groups", [(v * 37 + 5) % 128
+                            for v in lcg_values(9, 128, 128)])
+    b.data_words("liberty", lcg_values(19, 96, 64))
+
+    synth.emit_array_sum_scaled(b, "scan_board", "board", 361)
+    synth.emit_index_chase(b, "follow_group", "groups")
+    synth.emit_matrix_kernel(b, "influence", "board", 19)
+    synth.emit_recursive_walk(b, "search")
+    synth.emit_array_sum_scaled(b, "count_liberties", "liberty", 96)
+
+    phases = [
+        ("scan_board", ["    li   $a0, 28"],
+         ["    add  $s2, $s2, $v0"]),
+        ("follow_group",
+         ["    li   $a0, 44", "    andi $a1, $s2, 63"],
+         ["    add  $s2, $s2, $v0"]),
+        ("influence",
+         ["    li   $a0, 4", "    li   $a1, 16"],
+         ["    add  $s2, $s2, $v0"]),
+        ("count_liberties", ["    li   $a0, 32"],
+         ["    add  $s2, $s2, $v0"]),
+        ("follow_group",
+         ["    li   $a0, 40", "    andi $a1, $s1, 63"],
+         ["    add  $s2, $s2, $v0"]),
+        ("search",
+         ["    li   $a0, 1", "    move $a1, $s1"],
+         ["    add  $s2, $s2, $v0"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(42 * scale)))
+    return b.build()
+
+
+registry.register("go", build,
+                  "board-array scanning with index-linked group chains")

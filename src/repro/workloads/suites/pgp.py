@@ -1,0 +1,53 @@
+"""pgp stand-in.
+
+Public-key cryptography: long serial shift/xor/add chains over
+registers (cipher rounds) with copies between half-rounds, a key
+schedule built from small-constant adds, and almost no array indexing.
+Fingerprint target: 7.9% moves / 4.0% reassoc / 1.0% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("pgp")
+    b.data_words("keysched", lcg_values(322, 96, 4096))
+    b.data_words("blockin", lcg_values(17, 32, 65536))
+    b.data_space("blockout", 32 * 4)
+
+    synth.emit_bitmix(b, "cipher_round")
+    synth.emit_bitmix(b, "mdc_hash")
+    synth.emit_struct_chain(b, "key_expand")
+    synth.emit_copy_loop(b, "block_out", "blockin", "blockout")
+
+    def key_args(mask):
+        return [
+            "    la   $t0, keysched",
+            f"    andi $t1, $s1, {mask}",
+            "    sll  $t1, $t1, 5",
+            "    add  $t2, $t0, $t1",
+            "    addi $a0, $t2, 4",
+        ]
+
+    phases = [
+        ("cipher_round",
+         ["    li   $a0, 16", "    move $a1, $s2"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("key_expand", key_args(7),
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("mdc_hash",
+         ["    li   $a0, 14", "    move $a1, $s1"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+        ("block_out", ["    li   $a0, 16"],
+         ["    move $a3, $v0", "    add  $s2, $s2, $a3"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(56 * scale)))
+    return b.build()
+
+
+registry.register("pgp", build,
+                  "cipher rounds: serial ALU chains + key schedule")

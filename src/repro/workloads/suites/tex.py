@@ -1,0 +1,50 @@
+"""tex stand-in.
+
+TeX's paragraph/box machinery scans glue and node arrays with scaled
+indexing (the paper's #2 scaled-add benchmark at 5.2%) — including
+node-list traversal through index links — and hashes control
+sequences; it is notably move-poor (3.1%).
+Fingerprint target: 3.1% moves / 0.6% reassoc / 5.2% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("tex")
+    b.data_words("glue", lcg_values(164, 128, 1024))
+    # node "link" fields: nodes[i] -> index of next node (mem-style heap)
+    b.data_words("nodes", [(v * 61 + 7) % 128
+                           for v in lcg_values(82, 128, 128)])
+    b.data_space("eqtb", 128 * 4)
+    b.data_space("hlist", 64 * 4)
+
+    synth.emit_array_sum_scaled(b, "badness_scan", "glue", 128)
+    synth.emit_index_chase(b, "node_link", "nodes")
+    synth.emit_hash_loop(b, "cs_lookup", "eqtb", 0x7F)
+    synth.emit_copy_loop(b, "hpack", "glue", "hlist")
+
+    phases = [
+        ("badness_scan", ["    li   $a0, 36"],
+         ["    add  $s2, $s2, $v0"]),
+        ("cs_lookup",
+         ["    li   $a0, 12", "    move $a1, $s1"],
+         ["    add  $s2, $s2, $v0"]),
+        ("node_link",
+         ["    li   $a0, 52", "    andi $a1, $s2, 63"],
+         ["    add  $s2, $s2, $v0"]),
+        ("hpack", ["    li   $a0, 20"],
+         ["    add  $s2, $s2, $v0"]),
+        ("badness_scan", ["    li   $a0, 28"],
+         ["    add  $s2, $s2, $v0"]),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(52 * scale)))
+    return b.build()
+
+
+registry.register("tex", build,
+                  "box/glue array scanning + control-sequence hashing")

@@ -1,0 +1,52 @@
+"""vortex stand-in.
+
+The OO database: object-record field access, membership lists, and a
+great deal of call glue copying handles between registers — the
+paper's #1 move benchmark (9.4%). Fingerprint target:
+9.4% moves / 3.9% reassoc / 1.9% scaled.
+"""
+
+from __future__ import annotations
+
+from repro.program.image import Program
+from repro.workloads import registry, synth
+from repro.workloads.builder import AsmBuilder, lcg_values
+
+
+def build(scale: float = 1.0) -> Program:
+    b = AsmBuilder("vortex")
+    b.data_words("objects", lcg_values(214, 128, 4096))
+    chain_a = synth.linked_list_words(20, lambda i: f"members+{8 * i}")
+    b.data_words("members", chain_a)
+    chain_b = synth.linked_list_words(14, lambda i: f"index+{8 * i}")
+    b.data_words("index", chain_b)
+
+    synth.emit_struct_chain(b, "obj_fields")
+    synth.emit_field_chain(b, "attr_lookup", depth=3)
+    synth.emit_list_walk(b, "member_scan", "members")
+    synth.emit_list_walk(b, "index_scan", "index")
+    synth.emit_copy_loop(b, "obj_clone", "objects", "objects")
+
+    def obj_args(mask):
+        return [
+            "    la   $t0, objects",
+            f"    andi $t1, $s1, {mask}",
+            "    sll  $t1, $t1, 4",
+            "    add  $t2, $t0, $t1",
+            "    addi $a0, $t2, 4",
+        ]
+
+    move_post = ["    move $a3, $v0", "    add  $s2, $s2, $a3"]
+    phases = [
+        ("member_scan", [], move_post),
+        ("obj_fields", obj_args(7), move_post),
+        ("index_scan", [], move_post),
+        ("attr_lookup", obj_args(15), move_post),
+        ("obj_clone", ["    li   $a0, 36"], move_post),
+    ]
+    synth.emit_main_driver(b, phases, outer_iters=max(2, int(60 * scale)))
+    return b.build()
+
+
+registry.register("vortex", build,
+                  "OO database: record fields, member lists, handle copies")

@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimConfig
+
+
+@pytest.fixture
+def tiny_config():
+    return SimConfig.tiny()
+
+
+@pytest.fixture
+def paper_config():
+    return SimConfig.paper()

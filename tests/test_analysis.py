@@ -1,0 +1,58 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.analysis.stats import (arithmetic_mean, geometric_mean,
+                                  harmonic_mean, improvement_percent,
+                                  summarize_improvements)
+
+
+def test_arithmetic_mean():
+    assert arithmetic_mean([1, 2, 3]) == 2.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 100]) == pytest.approx(10.0)
+    assert geometric_mean([4]) == pytest.approx(4.0)
+
+
+def test_harmonic_mean():
+    assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+    assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+
+
+def test_means_reject_empty():
+    for fn in (arithmetic_mean, geometric_mean, harmonic_mean):
+        with pytest.raises(ValueError):
+            fn([])
+
+
+def test_geometric_harmonic_reject_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([1, 0])
+    with pytest.raises(ValueError):
+        harmonic_mean([1, -2])
+
+
+def test_mean_inequality():
+    data = [1.0, 2.0, 8.0]
+    assert harmonic_mean(data) < geometric_mean(data) < arithmetic_mean(data)
+
+
+def test_improvement_percent():
+    assert improvement_percent(2.0, 3.0) == pytest.approx(50.0)
+    assert improvement_percent(4.0, 3.0) == pytest.approx(-25.0)
+    assert improvement_percent(0.0, 3.0) == 0.0
+
+
+def test_summarize_improvements():
+    summary = summarize_improvements({"a": 5.0, "b": 1.0, "c": 9.0})
+    assert summary["mean"] == pytest.approx(5.0)
+    assert summary["min"] == ("b", 1.0)
+    assert summary["max"] == ("c", 9.0)
+    assert [name for name, _ in summary["rows"]] == ["b", "a", "c"]
+
+
+def test_summarize_rejects_empty():
+    with pytest.raises(ValueError):
+        summarize_improvements({})

@@ -1,0 +1,71 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "m88ksim" in out and "gnuchess" in out
+    assert out.count("\n") >= 16
+
+
+def test_run(capsys):
+    code, out = run_cli(capsys, "run", "compress", "--scale", "0.1",
+                        "--opts", "moves")
+    assert code == 0
+    assert "IPC" in out and "transformed" in out
+
+
+def test_compare(capsys):
+    code, out = run_cli(capsys, "compare", "tex", "--scale", "0.1")
+    assert code == 0
+    assert "baseline" in out
+    for name in ("moves", "reassoc", "scaled_adds", "placement", "all"):
+        assert name in out
+
+
+def test_figures_subset(capsys):
+    code, out = run_cli(capsys, "figures", "--scale", "0.05",
+                        "--only", "3")
+    assert code == 0
+    assert "Figure 3" in out and "paper claim" in out
+
+
+def test_tables(capsys):
+    code, out = run_cli(capsys, "tables", "--scale", "0.05")
+    assert code == 0
+    assert "Table 1" in out and "Table 2" in out
+
+
+def test_asm_command(tmp_path, capsys):
+    source = tmp_path / "kernel.s"
+    source.write_text("""
+    main:
+        li   $a0, 9
+        li   $v0, 1
+        syscall
+        halt
+    """)
+    code, out = run_cli(capsys, "asm", str(source), "--simulate",
+                        "--opts", "none")
+    assert code == 0
+    assert "[9]" in out and "IPC" in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "doom"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,200 @@
+"""Backend component tests: clusters, bypass, RS, rename, retire,
+memory scheduler, configuration."""
+
+import pytest
+
+from repro.cache.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.core.clusters import (BypassNetwork, FunctionalUnits,
+                                 ReservationStations)
+from repro.core.config import SimConfig
+from repro.core.memsched import MemoryScheduler
+from repro.core.rename import RenameUnit, RetireUnit
+from repro.errors import ConfigError
+
+
+# --- bypass network --------------------------------------------------------
+
+def test_same_cluster_forward_free():
+    bypass = BypassNetwork(cluster_size=4, penalty=1)
+    assert bypass.effective_ready(10, 2, 2) == 10
+
+
+def test_cross_cluster_forward_penalized():
+    bypass = BypassNetwork(cluster_size=4, penalty=1)
+    assert bypass.effective_ready(10, 1, 2) == 11
+
+
+def test_architected_values_free_everywhere():
+    bypass = BypassNetwork(cluster_size=4, penalty=1)
+    assert bypass.effective_ready(0, None, 3) == 0
+
+
+def test_cluster_of_slot():
+    bypass = BypassNetwork(cluster_size=4, penalty=1)
+    assert [bypass.cluster_of_slot(s) for s in (0, 3, 4, 15)] == [0, 0, 1, 3]
+
+
+# --- functional units -------------------------------------------------------
+
+def test_fu_accepts_one_per_cycle():
+    fus = FunctionalUnits(2)
+    assert fus.reserve(0, 10) == 10
+    assert fus.reserve(0, 10) == 11     # same FU, next cycle
+    assert fus.reserve(1, 10) == 10     # other FU free
+
+
+def test_fu_skips_reserved_cycles():
+    fus = FunctionalUnits(1)
+    fus.reserve(0, 5)
+    fus.reserve(0, 6)
+    assert fus.reserve(0, 5) == 7
+
+
+def test_fu_compaction_preserves_recent_state():
+    fus = FunctionalUnits(1)
+    for i in range(5000):
+        fus.reserve(0, i * 2)
+    # after compaction, recent reservations still respected
+    latest = fus.reserve(0, 9998)
+    assert latest != 9998 or True    # cycle may shift; must not crash
+    assert fus.reserve(0, latest) == latest + 1
+
+
+# --- reservation stations ----------------------------------------------------
+
+def test_rs_admits_until_full():
+    rs = ReservationStations(1, entries_per_fu=2)
+    assert rs.admit(0, 10) == 10
+    rs.occupy(0, 20)
+    rs.occupy(0, 30)
+    # full until cycle 20; a new entry must wait for the release
+    assert rs.admit(0, 15) == 20
+
+
+def test_rs_frees_after_dispatch():
+    rs = ReservationStations(1, entries_per_fu=2)
+    rs.occupy(0, 12)
+    rs.occupy(0, 14)
+    assert rs.admit(0, 13) == 13   # the entry dispatched at 12 freed up
+    assert rs.admit(0, 20) == 20   # everything drained by then
+
+
+# --- rename ------------------------------------------------------------------
+
+def test_rename_width_limit():
+    rename = RenameUnit(issue_width=2, max_blocks_per_cycle=3,
+                        window_size=64)
+    cycles = [rename.rename(0, False, 0) for _ in range(5)]
+    assert cycles == [1, 1, 2, 2, 3]
+
+
+def test_rename_block_limit():
+    rename = RenameUnit(issue_width=16, max_blocks_per_cycle=2,
+                        window_size=64)
+    cycles = [rename.rename(0, True, 0) for _ in range(4)]
+    assert cycles == [1, 1, 2, 2]
+    assert rename.block_limit_stalls > 0
+
+
+def test_rename_window_backpressure():
+    rename = RenameUnit(issue_width=16, max_blocks_per_cycle=3,
+                        window_size=8)
+    assert rename.rename(0, False, window_release=50) == 51
+    assert rename.window_stalls == 1
+
+
+def test_rename_never_goes_backward():
+    rename = RenameUnit(16, 3, 64)
+    first = rename.rename(10, False, 0)
+    second = rename.rename(5, False, 0)   # earlier fetch, later rename
+    assert second >= first
+
+
+# --- retire --------------------------------------------------------------------
+
+def test_retire_in_order_and_width():
+    retire = RetireUnit(retire_width=2)
+    assert retire.retire(10) == 11
+    assert retire.retire(5) == 11    # in-order: can't retire before prior
+    assert retire.retire(5) == 12    # width exhausted at 11
+    assert retire.retire(20) == 21
+
+
+# --- memory scheduler -------------------------------------------------------
+
+def make_sched():
+    return MemoryScheduler(MemoryHierarchy(HierarchyConfig(
+        l1i_size=1024, l1d_size=1024, l2_size=8192)), forward_window=64)
+
+
+def test_load_blocked_by_unknown_store_address():
+    sched = make_sched()
+    sched.store_timing(0x100, agen_done=50, data_ready=50)
+    # A load whose AGEN completes earlier must wait for the store AGEN.
+    ready = sched.load_timing(0x200, agen_done=10)
+    assert ready >= 51
+    assert sched.blocked_loads == 1
+
+
+def test_store_to_load_forwarding():
+    sched = make_sched()
+    done = sched.store_timing(0x100, agen_done=10, data_ready=30)
+    assert done == 30
+    ready = sched.load_timing(0x100, agen_done=32)
+    assert ready == max(33, 30)
+    assert sched.forwarded_loads == 1
+
+
+def test_forwarding_window_expires():
+    sched = make_sched()
+    sched.store_timing(0x100, agen_done=10, data_ready=10)
+    sched.load_timing(0x100, agen_done=500)   # far beyond the window
+    assert sched.forwarded_loads == 0
+
+
+def test_cold_load_pays_memory_latency():
+    sched = make_sched()
+    ready = sched.load_timing(0x4000, agen_done=10)
+    assert ready == 10 + 1 + 56
+
+
+# --- configuration -----------------------------------------------------------
+
+def test_paper_config_defaults():
+    config = SimConfig.paper()
+    assert config.fetch_width == 16
+    assert config.num_fus == 16
+    assert config.num_clusters == 4
+    assert config.trace_cache.num_lines == 2048
+    assert config.fill_latency == 5
+    assert config.optimizations.enabled_names() == []
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SimConfig(num_clusters=8, cluster_size=4, fetch_width=16)
+    with pytest.raises(ConfigError):
+        SimConfig(window_size=4)
+    with pytest.raises(ConfigError):
+        SimConfig(fill_latency=0)
+
+
+def test_with_optimizations_copies():
+    from repro.fillunit.opts.base import OptimizationConfig
+    base = SimConfig.paper()
+    opt = base.with_optimizations(OptimizationConfig.all())
+    assert base.optimizations.enabled_names() == []
+    assert len(opt.optimizations.enabled_names()) == 4
+
+
+def test_with_fill_latency():
+    assert SimConfig.paper().with_fill_latency(10).fill_latency == 10
+
+
+def test_optimization_config_helpers():
+    from repro.fillunit.opts.base import OptimizationConfig
+    assert OptimizationConfig.only("moves").enabled_names() == ["moves"]
+    assert OptimizationConfig.all().enabled_names() == \
+        ["moves", "reassoc", "scaled_adds", "placement"]
+    with pytest.raises(ValueError):
+        OptimizationConfig.only("bogus")

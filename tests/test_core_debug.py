@@ -1,0 +1,72 @@
+"""Timing-trace debug facility tests."""
+
+from repro.core.config import SimConfig
+from repro.core.debug import TimingTrace
+from repro.core.pipeline import PipelineModel
+from tests.helpers import run_asm
+
+LOOP = """
+main:
+    li   $t9, 30
+loop:
+    addi $t0, $t0, 1
+    blt  $t0, $t9, loop
+    halt
+"""
+
+
+def capture(limit=50, start_seq=0):
+    _, trace = run_asm(LOOP)
+    model = PipelineModel(SimConfig.tiny())
+    hook = TimingTrace(limit=limit, start_seq=start_seq)
+    model.timing_hook = hook
+    result = model.run(trace, "t", "r")
+    return hook, result, trace
+
+
+def test_capture_limited():
+    hook, _, _ = capture(limit=10)
+    assert len(hook) == 10
+
+
+def test_records_cover_all_when_unbounded():
+    hook, result, trace = capture(limit=10_000)
+    assert len(hook) == len(trace) == result.instructions
+
+
+def test_stage_ordering_invariants():
+    hook, _, _ = capture(limit=200)
+    for r in hook.records:
+        assert r.fetch < r.rename <= r.complete < r.retire
+        assert r.latency >= 3
+
+
+def test_retire_in_order():
+    hook, _, _ = capture(limit=200)
+    retires = [r.retire for r in hook.records]
+    assert retires == sorted(retires)
+
+
+def test_start_seq_offset():
+    hook, _, _ = capture(limit=5, start_seq=20)
+    assert hook.records[0].seq == 20
+
+
+def test_find_by_pc():
+    hook, _, trace = capture(limit=10_000)
+    loop_pc = trace[1].pc
+    found = hook.find(loop_pc)
+    assert len(found) > 5
+    assert all(r.pc == loop_pc for r in found)
+
+
+def test_render():
+    hook, _, _ = capture(limit=5)
+    text = hook.render()
+    assert "seq" in text and "addi" in text
+    assert len(text.splitlines()) == 6
+
+
+def test_default_hook_is_none():
+    model = PipelineModel(SimConfig.tiny())
+    assert model.timing_hook is None

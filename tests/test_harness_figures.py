@@ -1,0 +1,62 @@
+"""Structural tests for the remaining figure regenerators (4-6) and
+the figure plumbing not covered by test_harness.py."""
+
+import pytest
+
+from repro.harness import ExperimentRunner, figures
+
+SUBSET = ["m88ksim", "go", "tex"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.12, benchmarks=SUBSET)
+
+
+def test_figure4_m88ksim_dominates(runner):
+    fig = figures.figure4(runner)
+    assert fig.rows["m88ksim"] == max(fig.rows.values())
+    assert "reassociation" in fig.title
+
+
+def test_figure5_index_codes_lead(runner):
+    fig = figures.figure5(runner)
+    assert max(fig.rows["go"], fig.rows["tex"]) >= fig.rows["m88ksim"]
+
+
+def test_figure6_positive_mean(runner):
+    fig = figures.figure6(runner)
+    assert fig.mean > -1.0
+    assert set(fig.rows) == set(SUBSET)
+
+
+def test_all_figures_returns_six(runner):
+    results = figures.all_figures(runner)
+    assert [f.figure for f in results] == [
+        f"Figure {n}" for n in range(3, 9)]
+
+
+def test_single_opt_figures_share_baseline_cache():
+    fresh = ExperimentRunner(scale=0.05, benchmarks=["m88ksim"])
+    figures.figure3(fresh)
+    cached = len(fresh._results)
+    figures.figure5(fresh)
+    # baseline results reused: only the scaled-add run was added
+    assert len(fresh._results) == cached + 1
+    figures.figure5(fresh)
+    assert len(fresh._results) == cached + 1   # fully cached now
+
+
+def test_figure_render_smoke(runner):
+    for fig in (figures.figure4(runner), figures.figure6(runner)):
+        text = fig.render()
+        assert fig.figure in text
+        assert "m88ksim" in text
+
+
+def test_figure8_default_latencies(runner):
+    fig = figures.figure8(runner)
+    assert fig.extra["latencies"] == (1, 5, 10)
+    assert len(next(iter(fig.rows.values()))) == 3
+    # the headline column is the 5-cycle one
+    assert fig.extra["columns"][1] == "5-cycle"

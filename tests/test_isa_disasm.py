@@ -1,0 +1,77 @@
+"""Disassembler tests."""
+
+from repro.isa.disasm import disassemble, dump_listing
+from repro.isa.instruction import (GuardAnnotation, Instruction,
+                                   ScaleAnnotation)
+from repro.isa.opcodes import Op
+
+
+def test_r3_format():
+    text = disassemble(Instruction(Op.ADD, rd=10, rs=8, rt=9))
+    assert text == "add $t2, $t0, $t1"
+
+
+def test_immediate_format():
+    assert disassemble(Instruction(Op.ADDI, rd=8, rs=0, imm=-4)) == \
+        "addi $t0, $zero, -4"
+
+
+def test_memory_formats():
+    assert disassemble(Instruction(Op.LW, rd=8, rs=29, imm=8)) == \
+        "lw $t0, 8($sp)"
+    assert disassemble(Instruction(Op.SW, rt=8, rs=29, imm=-4)) == \
+        "sw $t0, -4($sp)"
+    assert disassemble(Instruction(Op.LWX, rd=8, rs=9, rt=10)) == \
+        "lwx $t0, $t1, $t2"
+
+
+def test_control_formats():
+    assert disassemble(Instruction(Op.BEQ, rs=8, rt=0, imm=16)) == \
+        "beq $t0, $zero, 16"
+    assert disassemble(Instruction(Op.J, imm=0x4000)) == "j 16384"
+    assert disassemble(Instruction(Op.JR, rs=31)) == "jr $ra"
+    assert disassemble(Instruction(Op.JALR, rd=31, rs=9)) == \
+        "jalr $ra, $t1"
+
+
+def test_nullary():
+    assert disassemble(Instruction(Op.HALT)) == "halt"
+    assert disassemble(Instruction(Op.NOP)) == "nop"
+
+
+def test_annotations_rendered():
+    instr = Instruction(Op.ADD, rd=8, rs=9, rt=10,
+                        scale=ScaleAnnotation(src=11, shamt=2),
+                        reassociated=True)
+    text = disassemble(instr)
+    assert "scaled($t3<<2)" in text and "reassoc" in text
+
+
+def test_move_annotation():
+    instr = Instruction(Op.ADDI, rd=8, rs=9, imm=0, move_flag=True)
+    assert "; move" in disassemble(instr)
+
+
+def test_guard_annotation():
+    instr = Instruction(Op.ADDI, rd=8, rs=9, imm=1,
+                        guard=GuardAnnotation(reg=13,
+                                              execute_if_zero=False))
+    assert "guard($t5!=0)" in disassemble(instr)
+
+
+def test_annotations_suppressible():
+    instr = Instruction(Op.ADDI, rd=8, rs=9, imm=0, move_flag=True)
+    assert ";" not in disassemble(instr, show_annotations=False)
+
+
+def test_dump_listing_uses_pc():
+    instrs = [Instruction(Op.NOP, pc=0x1000),
+              Instruction(Op.HALT, pc=0x1004)]
+    listing = dump_listing(instrs)
+    assert "00001000:" in listing and "00001004:" in listing
+
+
+def test_dump_listing_synthesizes_pc():
+    listing = dump_listing([Instruction(Op.NOP), Instruction(Op.NOP)],
+                           base_pc=0x2000)
+    assert "00002004:" in listing

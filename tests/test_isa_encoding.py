@@ -1,0 +1,152 @@
+"""Binary encoding round-trip and error tests."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFFFFFF
+    return decode(word)
+
+
+def assert_same(a: Instruction, b: Instruction) -> None:
+    assert (a.op, a.rd, a.rs, a.rt, a.imm) == (b.op, b.rd, b.rs, b.rt, b.imm)
+
+
+@pytest.mark.parametrize("instr", [
+    Instruction(Op.ADD, rd=1, rs=2, rt=3),
+    Instruction(Op.SUB, rd=31, rs=0, rt=15),
+    Instruction(Op.NOR, rd=9, rs=10, rt=11),
+    Instruction(Op.SLT, rd=1, rs=2, rt=3),
+    Instruction(Op.SLTU, rd=1, rs=2, rt=3),
+    Instruction(Op.MULT, rd=4, rs=5, rt=6),
+    Instruction(Op.DIV, rd=4, rs=5, rt=6),
+    Instruction(Op.SLLV, rd=4, rs=5, rt=6),
+])
+def test_r3_roundtrip(instr):
+    assert_same(instr, roundtrip(instr))
+
+
+@pytest.mark.parametrize("imm", [-32768, -1, 0, 1, 12345, 32767])
+def test_addi_immediate_range(imm):
+    instr = Instruction(Op.ADDI, rd=4, rs=5, imm=imm)
+    assert_same(instr, roundtrip(instr))
+
+
+def test_immediate_overflow_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=4, rs=5, imm=40000))
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.ADDI, rd=4, rs=5, imm=-40000))
+
+
+@pytest.mark.parametrize("shamt", [0, 1, 2, 3, 15, 31])
+def test_shift_roundtrip(shamt):
+    for op in (Op.SLL, Op.SRL, Op.SRA):
+        instr = Instruction(op, rd=4, rs=5, imm=shamt)
+        assert_same(instr, roundtrip(instr))
+
+
+def test_shift_amount_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.SLL, rd=4, rs=5, imm=32))
+
+
+def test_lui_roundtrip():
+    instr = Instruction(Op.LUI, rd=9, imm=-1)
+    assert_same(instr, roundtrip(instr))
+
+
+@pytest.mark.parametrize("op", [Op.LW, Op.LH, Op.LHU, Op.LB, Op.LBU])
+def test_load_roundtrip(op):
+    instr = Instruction(op, rd=3, rs=29, imm=-8)
+    assert_same(instr, roundtrip(instr))
+
+
+@pytest.mark.parametrize("op", [Op.SW, Op.SH, Op.SB])
+def test_store_roundtrip(op):
+    instr = Instruction(op, rt=3, rs=29, imm=100)
+    assert_same(instr, roundtrip(instr))
+
+
+@pytest.mark.parametrize("op", [Op.LWX, Op.LBX, Op.SWX, Op.SBX])
+def test_indexed_memory_roundtrip(op):
+    instr = Instruction(op, rd=3, rs=4, rt=5)
+    assert_same(instr, roundtrip(instr))
+
+
+@pytest.mark.parametrize("offset", [-32768 * 4, -4, 0, 4, 32767 * 4])
+def test_branch_offset_roundtrip(offset):
+    for op in (Op.BEQ, Op.BNE):
+        instr = Instruction(op, rs=1, rt=2, imm=offset)
+        assert_same(instr, roundtrip(instr))
+    for op in (Op.BLEZ, Op.BGTZ, Op.BLTZ, Op.BGEZ):
+        instr = Instruction(op, rs=1, imm=offset)
+        assert_same(instr, roundtrip(instr))
+
+
+def test_branch_offset_must_be_aligned():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.BEQ, rs=1, rt=2, imm=6))
+
+
+def test_branch_offset_out_of_range():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.BEQ, rs=1, rt=2, imm=(1 << 20)))
+
+
+def test_jump_roundtrip():
+    for op in (Op.J, Op.JAL):
+        instr = Instruction(op, imm=0x4000)
+        assert_same(instr, roundtrip(instr))
+
+
+def test_jump_target_alignment():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Op.J, imm=0x4002))
+
+
+def test_jr_jalr_syscall_halt_nop_roundtrip():
+    for instr in (Instruction(Op.JR, rs=31),
+                  Instruction(Op.JALR, rd=31, rs=9),
+                  Instruction(Op.SYSCALL),
+                  Instruction(Op.HALT),
+                  Instruction(Op.NOP)):
+        assert_same(instr, roundtrip(instr))
+
+
+def test_word_zero_decodes_to_nop():
+    assert decode(0).op is Op.NOP
+
+
+def test_decode_rejects_unknown_funct():
+    with pytest.raises(EncodingError):
+        decode(0x0000003B)  # SPECIAL with unassigned funct
+
+
+def test_decode_rejects_unknown_primary():
+    with pytest.raises(EncodingError):
+        decode(0x3F << 26)
+
+
+def test_decode_rejects_nonword():
+    with pytest.raises(EncodingError):
+        decode(-1)
+    with pytest.raises(EncodingError):
+        decode(1 << 32)
+
+
+def test_annotations_not_encoded():
+    """Fill-unit annotations are microarchitectural: encoding strips
+    them (they live in the trace cache's extra pre-decode bits)."""
+    from repro.isa.instruction import ScaleAnnotation
+    plain = Instruction(Op.ADD, rd=1, rs=2, rt=3)
+    annotated = Instruction(Op.ADD, rd=1, rs=2, rt=3,
+                            scale=ScaleAnnotation(src=9, shamt=2),
+                            move_flag=True, reassociated=True)
+    assert encode(plain) == encode(annotated)

@@ -1,0 +1,167 @@
+"""Instruction structure tests: operands, classification, annotations."""
+
+import pytest
+
+from repro.isa.instruction import (Instruction, ScaleAnnotation, make_nop,
+                                   move_source)
+from repro.isa.opcodes import Op
+
+
+def test_dest_per_format():
+    assert Instruction(Op.ADD, rd=3, rs=1, rt=2).dest() == 3
+    assert Instruction(Op.ADDI, rd=4, rs=1, imm=5).dest() == 4
+    assert Instruction(Op.LW, rd=5, rs=29, imm=0).dest() == 5
+    assert Instruction(Op.LWX, rd=6, rs=1, rt=2).dest() == 6
+    assert Instruction(Op.LUI, rd=7, imm=1).dest() == 7
+    assert Instruction(Op.JAL, imm=0x1000).dest() == 31
+    assert Instruction(Op.JALR, rd=31, rs=9).dest() == 31
+
+
+def test_no_dest_formats():
+    assert Instruction(Op.SW, rt=3, rs=29, imm=0).dest() is None
+    assert Instruction(Op.SWX, rd=3, rs=1, rt=2).dest() is None
+    assert Instruction(Op.BEQ, rs=1, rt=2, imm=8).dest() is None
+    assert Instruction(Op.J, imm=0x1000).dest() is None
+    assert Instruction(Op.JR, rs=31).dest() is None
+    assert make_nop().dest() is None
+
+
+def test_write_to_zero_register_has_no_dest():
+    assert Instruction(Op.ADD, rd=0, rs=1, rt=2).dest() is None
+
+
+def test_sources_per_format():
+    assert Instruction(Op.ADD, rd=3, rs=1, rt=2).sources() == (1, 2)
+    assert Instruction(Op.ADDI, rd=3, rs=1, imm=4).sources() == (1,)
+    assert Instruction(Op.SLL, rd=3, rs=1, imm=2).sources() == (1,)
+    assert Instruction(Op.LW, rd=3, rs=29, imm=0).sources() == (29,)
+    assert Instruction(Op.SW, rt=3, rs=29, imm=0).sources() == (29, 3)
+    assert Instruction(Op.SWX, rd=3, rs=1, rt=2).sources() == (3, 1, 2)
+    assert Instruction(Op.BEQ, rs=1, rt=2, imm=8).sources() == (1, 2)
+    assert Instruction(Op.BLEZ, rs=1, imm=8).sources() == (1,)
+    assert Instruction(Op.JR, rs=31).sources() == (31,)
+    assert Instruction(Op.LUI, rd=3, imm=1).sources() == ()
+    assert Instruction(Op.J, imm=0x1000).sources() == ()
+
+
+def test_scaled_sources_replace_rs_slot():
+    instr = Instruction(Op.LWX, rd=3, rs=1, rt=2,
+                        scale=ScaleAnnotation(src=9, shamt=2))
+    assert instr.sources() == (9, 2)
+
+
+def test_scaled_sources_storex_replaces_address_slot():
+    instr = Instruction(Op.SWX, rd=3, rs=1, rt=2,
+                        scale=ScaleAnnotation(src=9, shamt=1))
+    # value (rd=3) untouched; address base (rs=1) replaced by 9.
+    assert instr.sources() == (3, 9, 2)
+
+
+def test_marked_move_sources_collapse_to_move_source():
+    instr = Instruction(Op.ADDI, rd=3, rs=7, imm=0, move_flag=True)
+    assert instr.sources() == (7,)
+
+
+def test_mem_split_load():
+    instr = Instruction(Op.LW, rd=3, rs=29, imm=8)
+    addr, value = instr.mem_split()
+    assert addr == (29,)
+    assert value is None
+
+
+def test_mem_split_store_shares_register():
+    instr = Instruction(Op.SW, rt=7, rs=7, imm=0)
+    addr, value = instr.mem_split()
+    assert addr == (7,)
+    assert value == 7
+
+
+def test_mem_split_storex_with_scale():
+    instr = Instruction(Op.SWX, rd=3, rs=1, rt=2,
+                        scale=ScaleAnnotation(src=9, shamt=2))
+    addr, value = instr.mem_split()
+    assert addr == (9, 2)
+    assert value == 3
+
+
+@pytest.mark.parametrize("instr,expected", [
+    (Instruction(Op.ADDI, rd=3, rs=7, imm=0), 7),
+    (Instruction(Op.ORI, rd=3, rs=7, imm=0), 7),
+    (Instruction(Op.XORI, rd=3, rs=7, imm=0), 7),
+    (Instruction(Op.ADD, rd=3, rs=7, rt=0), 7),
+    (Instruction(Op.ADD, rd=3, rs=0, rt=7), 7),
+    (Instruction(Op.OR, rd=3, rs=7, rt=0), 7),
+    (Instruction(Op.XOR, rd=3, rs=0, rt=7), 7),
+    (Instruction(Op.SUB, rd=3, rs=7, rt=0), 7),
+    (Instruction(Op.SLL, rd=3, rs=7, imm=0), 7),
+    (Instruction(Op.SRA, rd=3, rs=7, imm=0), 7),
+    (Instruction(Op.ANDI, rd=3, rs=7, imm=0), 0),   # a zero: move from r0
+    (Instruction(Op.ADD, rd=3, rs=0, rt=0), 0),
+])
+def test_move_detection_positive(instr, expected):
+    assert move_source(instr) == expected
+
+
+@pytest.mark.parametrize("instr", [
+    Instruction(Op.ADDI, rd=3, rs=7, imm=1),
+    Instruction(Op.ADD, rd=3, rs=7, rt=8),
+    Instruction(Op.SUB, rd=3, rs=0, rt=7),    # negation, not a move
+    Instruction(Op.SLL, rd=3, rs=7, imm=2),
+    Instruction(Op.AND, rd=3, rs=7, rt=0),    # AND with zero is zero...
+    Instruction(Op.NOR, rd=3, rs=7, rt=0),    # NOT, not a move
+    Instruction(Op.ADDI, rd=0, rs=7, imm=0),  # writes r0: a no-op
+    Instruction(Op.LW, rd=3, rs=7, imm=0),
+])
+def test_move_detection_negative(instr):
+    assert move_source(instr) is None
+
+
+def test_and_with_zero_not_detected_as_move_of_value():
+    # AND rd, rs, r0 produces zero but our detector intentionally only
+    # handles idioms that preserve an input operand or load zero via
+    # ANDI; ADD/OR idioms cover the common compiler output.
+    assert move_source(Instruction(Op.AND, rd=3, rs=7, rt=0)) is None
+
+
+def test_control_classification_helpers():
+    beq = Instruction(Op.BEQ, rs=1, rt=2, imm=8)
+    assert beq.is_cond_branch() and beq.is_ctrl()
+    jal = Instruction(Op.JAL, imm=0x1000)
+    assert jal.is_call() and not jal.is_cond_branch()
+    jr_ra = Instruction(Op.JR, rs=31)
+    assert jr_ra.is_return() and jr_ra.is_indirect()
+    jr_other = Instruction(Op.JR, rs=9)
+    assert not jr_other.is_return() and jr_other.is_indirect()
+    jalr = Instruction(Op.JALR, rd=31, rs=9)
+    assert jalr.is_indirect() and jalr.is_call()
+    syscall = Instruction(Op.SYSCALL)
+    assert syscall.is_serializing()
+
+
+def test_segment_termination_rules():
+    """Returns, indirect jumps and serializing instructions terminate;
+    calls and direct jumps do not (paper §3)."""
+    assert Instruction(Op.JR, rs=31).terminates_segment()
+    assert Instruction(Op.JR, rs=9).terminates_segment()
+    assert Instruction(Op.JALR, rd=31, rs=9).terminates_segment()
+    assert Instruction(Op.SYSCALL).terminates_segment()
+    assert Instruction(Op.HALT).terminates_segment()
+    assert not Instruction(Op.JAL, imm=0x1000).terminates_segment()
+    assert not Instruction(Op.J, imm=0x1000).terminates_segment()
+    assert not Instruction(Op.BEQ, rs=1, rt=2, imm=8).terminates_segment()
+
+
+def test_copy_is_independent():
+    instr = Instruction(Op.ADDI, rd=3, rs=7, imm=0)
+    clone = instr.copy()
+    clone.move_flag = True
+    clone.rs = 9
+    assert not instr.move_flag
+    assert instr.rs == 7
+
+
+def test_mem_classification():
+    assert Instruction(Op.LW, rd=1, rs=2, imm=0).is_load()
+    assert Instruction(Op.SW, rt=1, rs=2, imm=0).is_store()
+    assert Instruction(Op.LWX, rd=1, rs=2, rt=3).is_mem()
+    assert not Instruction(Op.ADD, rd=1, rs=2, rt=3).is_mem()

@@ -1,0 +1,69 @@
+"""Opcode metadata tests."""
+
+import pytest
+
+from repro.isa.opcodes import (Format, Op, OpClass, REASSOCIABLE,
+                               SCALED_ADD_SHIFTS, SCALED_ADD_TARGETS,
+                               op_by_mnemonic, op_info)
+
+
+def test_every_opcode_has_info():
+    for op in Op:
+        info = op_info(op)
+        assert info.latency >= 1
+        assert isinstance(info.format, Format)
+        assert isinstance(info.opclass, OpClass)
+
+
+def test_mnemonic_lookup():
+    assert op_by_mnemonic("add") is Op.ADD
+    assert op_by_mnemonic("LWX") is Op.LWX
+    with pytest.raises(KeyError):
+        op_by_mnemonic("frobnicate")
+
+
+def test_latency_ordering():
+    """Long operations must cost more than simple ALU ops."""
+    assert op_info(Op.MULT).latency > op_info(Op.ADD).latency
+    assert op_info(Op.DIV).latency > op_info(Op.MULT).latency
+
+
+def test_branch_classification():
+    for op in (Op.BEQ, Op.BNE, Op.BLEZ, Op.BGTZ, Op.BLTZ, Op.BGEZ):
+        assert op_info(op).opclass is OpClass.BRANCH
+
+
+def test_memory_classification():
+    for op in (Op.LW, Op.LH, Op.LB, Op.LHU, Op.LBU, Op.LWX, Op.LBX):
+        assert op_info(op).opclass is OpClass.LOAD
+    for op in (Op.SW, Op.SH, Op.SB, Op.SWX, Op.SBX):
+        assert op_info(op).opclass is OpClass.STORE
+
+
+def test_control_classification():
+    assert op_info(Op.J).opclass is OpClass.JUMP
+    assert op_info(Op.JAL).opclass is OpClass.CALL
+    assert op_info(Op.JALR).opclass is OpClass.CALL
+    assert op_info(Op.JR).opclass is OpClass.INDIRECT
+    assert op_info(Op.SYSCALL).opclass is OpClass.SYSCALL
+    assert op_info(Op.HALT).opclass is OpClass.SYSCALL
+
+
+def test_scaled_add_targets_include_adds_and_memory():
+    assert Op.ADD in SCALED_ADD_TARGETS
+    assert Op.LWX in SCALED_ADD_TARGETS
+    assert Op.SW in SCALED_ADD_TARGETS      # paper: loads AND stores
+    assert Op.SUB not in SCALED_ADD_TARGETS
+    assert Op.ADDI not in SCALED_ADD_TARGETS
+
+
+def test_scaled_add_shift_is_immediate_left_shift_only():
+    assert SCALED_ADD_SHIFTS == frozenset({Op.SLL})
+
+
+def test_reassociable_is_addi():
+    assert REASSOCIABLE == frozenset({Op.ADDI})
+
+
+def test_mnemonics_are_unique():
+    assert len({op.value for op in Op}) == len(list(Op))

@@ -1,0 +1,66 @@
+"""Register-file naming tests."""
+
+import pytest
+
+from repro.isa.registers import (NUM_REGS, REG_NAMES, ZERO_REG, reg_name,
+                                 reg_number)
+
+
+def test_register_count():
+    assert NUM_REGS == 32
+    assert len(REG_NAMES) == 32
+
+
+def test_zero_register_is_zero():
+    assert ZERO_REG == 0
+    assert reg_name(0) == "zero"
+
+
+def test_reg_name_round_trip():
+    for num in range(NUM_REGS):
+        assert reg_number(reg_name(num)) == num
+
+
+def test_dollar_prefix_accepted():
+    assert reg_number("$t0") == 8
+    assert reg_number("$zero") == 0
+    assert reg_number("$ra") == 31
+
+
+def test_numeric_forms():
+    assert reg_number("$5") == 5
+    assert reg_number("17") == 17
+    assert reg_number("r9") == 9
+
+
+def test_abi_aliases():
+    assert reg_number("sp") == 29
+    assert reg_number("fp") == 30
+    assert reg_number("s8") == 30  # alternate alias for fp
+    assert reg_number("gp") == 28
+    assert reg_number("at") == 1
+    assert reg_number("v0") == 2
+    assert reg_number("a3") == 7
+
+
+def test_case_insensitive():
+    assert reg_number("$T0") == 8
+    assert reg_number("RA") == 31
+
+
+def test_out_of_range_numeric_rejected():
+    with pytest.raises(KeyError):
+        reg_number("$32")
+    with pytest.raises(KeyError):
+        reg_number("99")
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        reg_number("$bogus")
+    with pytest.raises(KeyError):
+        reg_number("")
+
+
+def test_names_unique():
+    assert len(set(REG_NAMES)) == len(REG_NAMES)

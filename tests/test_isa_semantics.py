@@ -1,0 +1,220 @@
+"""Functional semantics tests: every opcode, edge values, annotations."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.isa.instruction import Instruction, ScaleAnnotation
+from repro.isa.opcodes import Op
+from repro.isa.semantics import evaluate, to_s32, to_u32
+
+
+def make_reader(values: dict):
+    return lambda reg: values.get(reg, 0)
+
+
+def ev(instr, **regs):
+    values = {int(k[1:]): v for k, v in regs.items()}
+    return evaluate(instr, make_reader(values))
+
+
+# --- helpers -----------------------------------------------------------
+
+def test_to_s32_wraps():
+    assert to_s32(0x7FFFFFFF) == 2147483647
+    assert to_s32(0x80000000) == -2147483648
+    assert to_s32(0xFFFFFFFF) == -1
+    assert to_s32(1 << 32) == 0
+
+
+def test_to_u32_wraps():
+    assert to_u32(-1) == 0xFFFFFFFF
+    assert to_u32(1 << 32) == 0
+
+
+# --- ALU ---------------------------------------------------------------
+
+def test_add_and_overflow_wraps():
+    effect = ev(Instruction(Op.ADD, rd=3, rs=1, rt=2),
+                r1=0x7FFFFFFF, r2=1)
+    assert effect.dest == 3
+    assert effect.value == -2147483648  # silent two's-complement wrap
+
+
+def test_sub():
+    assert ev(Instruction(Op.SUB, rd=3, rs=1, rt=2), r1=5, r2=9).value == -4
+
+
+def test_logic_ops():
+    assert ev(Instruction(Op.AND, rd=3, rs=1, rt=2),
+              r1=0b1100, r2=0b1010).value == 0b1000
+    assert ev(Instruction(Op.OR, rd=3, rs=1, rt=2),
+              r1=0b1100, r2=0b1010).value == 0b1110
+    assert ev(Instruction(Op.XOR, rd=3, rs=1, rt=2),
+              r1=0b1100, r2=0b1010).value == 0b0110
+    assert ev(Instruction(Op.NOR, rd=3, rs=1, rt=2),
+              r1=0, r2=0).value == -1
+
+
+def test_slt_signed_vs_unsigned():
+    assert ev(Instruction(Op.SLT, rd=3, rs=1, rt=2), r1=-1, r2=0).value == 1
+    assert ev(Instruction(Op.SLTU, rd=3, rs=1, rt=2), r1=-1, r2=0).value == 0
+
+
+def test_mult_wraps():
+    assert ev(Instruction(Op.MULT, rd=3, rs=1, rt=2),
+              r1=100000, r2=100000).value == to_s32(100000 * 100000)
+
+
+def test_div_truncates_toward_zero():
+    assert ev(Instruction(Op.DIV, rd=3, rs=1, rt=2), r1=-7, r2=2).value == -3
+    assert ev(Instruction(Op.DIV, rd=3, rs=1, rt=2), r1=7, r2=-2).value == -3
+
+
+def test_div_by_zero_yields_zero():
+    assert ev(Instruction(Op.DIV, rd=3, rs=1, rt=2), r1=7, r2=0).value == 0
+
+
+def test_immediates_sign_extend():
+    assert ev(Instruction(Op.ADDI, rd=3, rs=1, imm=-1), r1=5).value == 4
+    assert ev(Instruction(Op.SLTI, rd=3, rs=1, imm=0), r1=-3).value == 1
+    assert ev(Instruction(Op.SLTIU, rd=3, rs=1, imm=1), r1=0).value == 1
+
+
+def test_shifts():
+    assert ev(Instruction(Op.SLL, rd=3, rs=1, imm=4), r1=1).value == 16
+    assert ev(Instruction(Op.SRL, rd=3, rs=1, imm=1), r1=-2).value == \
+        0x7FFFFFFF
+    assert ev(Instruction(Op.SRA, rd=3, rs=1, imm=1), r1=-2).value == -1
+
+
+def test_variable_shifts_mask_amount():
+    assert ev(Instruction(Op.SLLV, rd=3, rs=1, rt=2), r1=1, r2=33).value == 2
+    assert ev(Instruction(Op.SRLV, rd=3, rs=1, rt=2), r1=4, r2=2).value == 1
+    assert ev(Instruction(Op.SRAV, rd=3, rs=1, rt=2), r1=-8, r2=2).value == -2
+
+
+def test_lui():
+    assert ev(Instruction(Op.LUI, rd=3, imm=1)).value == 0x10000
+    assert ev(Instruction(Op.LUI, rd=3, imm=-1)).value == to_s32(0xFFFF0000)
+
+
+# --- memory ------------------------------------------------------------
+
+def test_load_address_computation():
+    effect = ev(Instruction(Op.LW, rd=3, rs=1, imm=-4), r1=0x1000)
+    assert effect.mem is not None
+    assert not effect.mem.is_store
+    assert effect.mem.addr == 0xFFC
+    assert effect.mem.size == 4 and effect.mem.signed
+
+
+def test_load_sizes_and_signedness():
+    assert ev(Instruction(Op.LBU, rd=3, rs=1, imm=0), r1=8).mem.signed \
+        is False
+    assert ev(Instruction(Op.LB, rd=3, rs=1, imm=0), r1=8).mem.size == 1
+    assert ev(Instruction(Op.LHU, rd=3, rs=1, imm=0), r1=8).mem.size == 2
+
+
+def test_indexed_load_address():
+    effect = ev(Instruction(Op.LWX, rd=3, rs=1, rt=2), r1=0x100, r2=0x20)
+    assert effect.mem.addr == 0x120
+
+
+def test_store_effect():
+    effect = ev(Instruction(Op.SW, rt=3, rs=1, imm=8), r1=0x100, r3=77)
+    assert effect.mem.is_store
+    assert effect.mem.addr == 0x108
+    assert effect.mem.store_value == 77
+    assert effect.dest is None
+
+
+def test_indexed_store_value_in_rd():
+    effect = ev(Instruction(Op.SWX, rd=3, rs=1, rt=2),
+                r1=0x100, r2=4, r3=55)
+    assert effect.mem.is_store and effect.mem.addr == 0x104
+    assert effect.mem.store_value == 55
+
+
+# --- scale annotation ----------------------------------------------------
+
+def test_scaled_add_semantics():
+    instr = Instruction(Op.ADD, rd=3, rs=1, rt=2,
+                        scale=ScaleAnnotation(src=9, shamt=2))
+    effect = ev(instr, r1=999, r2=10, r9=5)
+    # reads r9 << 2, NOT r1
+    assert effect.value == 30
+
+
+def test_scaled_load_semantics():
+    instr = Instruction(Op.LWX, rd=3, rs=1, rt=2,
+                        scale=ScaleAnnotation(src=9, shamt=3))
+    effect = ev(instr, r1=999, r2=0x100, r9=2)
+    assert effect.mem.addr == 0x110
+
+
+def test_scaled_displacement_load():
+    instr = Instruction(Op.LW, rd=3, rs=1, imm=4,
+                        scale=ScaleAnnotation(src=9, shamt=2))
+    effect = ev(instr, r1=999, r9=0x40)
+    assert effect.mem.addr == 0x104
+
+
+def test_scaled_store_semantics():
+    instr = Instruction(Op.SW, rt=3, rs=1, imm=0,
+                        scale=ScaleAnnotation(src=9, shamt=1))
+    effect = ev(instr, r1=999, r9=0x80, r3=5)
+    assert effect.mem.addr == 0x100
+    assert effect.mem.store_value == 5
+
+
+# --- control -------------------------------------------------------------
+
+@pytest.mark.parametrize("op,r1,r2,taken", [
+    (Op.BEQ, 5, 5, True), (Op.BEQ, 5, 6, False),
+    (Op.BNE, 5, 6, True), (Op.BNE, 5, 5, False),
+])
+def test_two_register_branches(op, r1, r2, taken):
+    instr = Instruction(op, rs=1, rt=2, imm=16, pc=0x1000)
+    effect = ev(instr, r1=r1, r2=r2)
+    assert effect.is_ctrl and effect.taken == taken
+    assert effect.target == (0x1010 if taken else 0x1004)
+
+
+@pytest.mark.parametrize("op,value,taken", [
+    (Op.BLEZ, 0, True), (Op.BLEZ, 1, False), (Op.BLEZ, -1, True),
+    (Op.BGTZ, 1, True), (Op.BGTZ, 0, False),
+    (Op.BLTZ, -1, True), (Op.BLTZ, 0, False),
+    (Op.BGEZ, 0, True), (Op.BGEZ, -1, False),
+])
+def test_compare_zero_branches(op, value, taken):
+    instr = Instruction(op, rs=1, imm=8, pc=0x2000)
+    assert ev(instr, r1=value).taken == taken
+
+
+def test_jump_and_link():
+    effect = ev(Instruction(Op.JAL, imm=0x4000, pc=0x1000))
+    assert effect.target == 0x4000
+    assert effect.dest == 31 and effect.value == 0x1004
+
+
+def test_jr_target_from_register():
+    effect = ev(Instruction(Op.JR, rs=31, pc=0x1000), r31=0x2040)
+    assert effect.target == 0x2040
+
+
+def test_jalr_links_and_jumps():
+    effect = ev(Instruction(Op.JALR, rd=5, rs=9, pc=0x1000), r9=0x3000)
+    assert effect.target == 0x3000
+    assert effect.dest == 5 and effect.value == 0x1004
+
+
+def test_halt_and_syscall():
+    assert ev(Instruction(Op.HALT)).halt
+    sys_effect = ev(Instruction(Op.SYSCALL))
+    assert sys_effect.serialize and not sys_effect.halt
+
+
+def test_nop_has_no_effect():
+    effect = ev(Instruction(Op.NOP))
+    assert effect.dest is None and effect.mem is None \
+        and not effect.is_ctrl and not effect.halt

@@ -1,0 +1,104 @@
+"""Sparse memory tests."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.machine.memory import PAGE_SIZE, Memory
+
+
+def test_reads_default_to_zero():
+    mem = Memory()
+    assert mem.load_word(0x1000) == 0
+    assert mem.load(0xFFFF0, 1, signed=False) == 0
+
+
+def test_word_round_trip():
+    mem = Memory()
+    mem.store_word(0x100, 123456)
+    assert mem.load_word(0x100) == 123456
+
+
+def test_negative_word_round_trip():
+    mem = Memory()
+    mem.store_word(0x100, -5)
+    assert mem.load_word(0x100) == -5
+    assert mem.load(0x100, 4, signed=False) == 0xFFFFFFFB
+
+
+def test_byte_and_half_sizes():
+    mem = Memory()
+    mem.store(0x200, 0xAB, 1)
+    mem.store(0x202, 0xBEEF, 2)
+    assert mem.load(0x200, 1, signed=False) == 0xAB
+    assert mem.load(0x202, 2, signed=False) == 0xBEEF
+
+
+def test_sign_extension_on_load():
+    mem = Memory()
+    mem.store(0x300, 0x80, 1)
+    assert mem.load(0x300, 1, signed=True) == -128
+    assert mem.load(0x300, 1, signed=False) == 128
+    mem.store(0x304, 0x8000, 2)
+    assert mem.load(0x304, 2, signed=True) == -32768
+
+
+def test_little_endian_layout():
+    mem = Memory()
+    mem.store_word(0x400, 0x04030201)
+    assert mem.load(0x400, 1, signed=False) == 0x01
+    assert mem.load(0x403, 1, signed=False) == 0x04
+
+
+def test_store_truncates_to_size():
+    mem = Memory()
+    mem.store(0x500, 0x1FF, 1)
+    assert mem.load(0x500, 1, signed=False) == 0xFF
+
+
+def test_misaligned_access_rejected():
+    mem = Memory()
+    with pytest.raises(ExecutionError):
+        mem.load(0x101, 4, signed=True)
+    with pytest.raises(ExecutionError):
+        mem.store(0x102, 1, 4)
+    with pytest.raises(ExecutionError):
+        mem.load(0x101, 2, signed=False)
+
+
+def test_byte_access_never_misaligned():
+    mem = Memory()
+    mem.store(0x101, 7, 1)
+    assert mem.load(0x101, 1, signed=False) == 7
+
+
+def test_bulk_bytes_cross_page():
+    mem = Memory()
+    data = bytes(range(256)) * 20  # > one page
+    base = PAGE_SIZE - 100
+    mem.write_bytes(base, data)
+    assert mem.read_bytes(base, len(data)) == data
+
+
+def test_pages_allocated_lazily():
+    mem = Memory()
+    assert mem.touched_pages() == 0
+    mem.store_word(0, 1)
+    mem.store_word(10 * PAGE_SIZE, 1)
+    assert mem.touched_pages() == 2
+
+
+def test_snapshot_is_deep():
+    mem = Memory()
+    mem.store_word(0x100, 7)
+    snap = mem.snapshot()
+    mem.store_word(0x100, 9)
+    key = 0x100 >> 12
+    assert snap[key][0x100:0x104] == (7).to_bytes(4, "little")
+
+
+def test_distant_addresses_independent():
+    mem = Memory()
+    mem.store_word(0x0, 1)
+    mem.store_word(0x7FFFFFFC, 2)
+    assert mem.load_word(0x0) == 1
+    assert mem.load_word(0x7FFFFFFC) == 2

@@ -1,0 +1,159 @@
+"""Register-move marking pass tests (paper §4.2)."""
+
+from repro.fillunit.opts.base import OptimizationConfig
+from tests.helpers import build_segments
+
+MOVES = OptimizationConfig.only("moves")
+
+
+def segment_for(source, **kw):
+    _, _, segments = build_segments(source, MOVES, **kw)
+    return segments[0]
+
+
+def test_canonical_move_marked():
+    seg = segment_for("""
+    main:
+        addi $t1, $t0, 0
+        halt
+    """)
+    assert seg.instrs[0].move_flag
+
+
+def test_or_and_sll_idioms_marked():
+    seg = segment_for("""
+    main:
+        or   $t1, $t0, $zero
+        sll  $t2, $t0, 0
+        sub  $t3, $t0, $zero
+        halt
+    """)
+    assert all(instr.move_flag for instr in seg.instrs[:3])
+
+
+def test_non_moves_not_marked():
+    seg = segment_for("""
+    main:
+        addi $t1, $t0, 4
+        add  $t2, $t0, $t1
+        halt
+    """)
+    assert not any(instr.move_flag for instr in seg.instrs)
+
+
+def test_dependent_rewritten_to_move_source():
+    """Consumers of the move read the move's source directly, avoiding
+    the rename-read serialization (paper: 'modified ... to be dependent
+    upon the source of the move instead')."""
+    seg = segment_for("""
+    main:
+        addi $t0, $zero, 5
+        addi $t1, $t0, 0       # move t1 <- t0
+        add  $t2, $t1, $t1     # consumer
+        halt
+    """)
+    consumer = seg.instrs[2]
+    assert consumer.rs == 8 and consumer.rt == 8    # rewritten to $t0
+    assert consumer.move_bypassed
+
+
+def test_move_chain_collapses_to_ultimate_source():
+    seg = segment_for("""
+    main:
+        addi $t1, $t0, 0
+        addi $t2, $t1, 0
+        add  $t3, $t2, $zero
+        sw   $t2, 0($sp)
+        halt
+    """)
+    # every alias resolves to $t0 (reg 8)
+    assert seg.instrs[1].sources() == (8,)
+    assert seg.instrs[2].sources() == (8,)
+    assert seg.instrs[3].rt == 8
+
+
+def test_alias_dies_when_source_redefined():
+    seg = segment_for("""
+    main:
+        addi $t1, $t0, 0       # t1 == t0
+        addi $t0, $t0, 4       # t0 redefined: alias must die
+        add  $t2, $t1, $zero   # must still read t1
+        halt
+    """)
+    consumer = seg.instrs[2]
+    assert consumer.rs == 9    # $t1, NOT rewritten to $t0
+
+
+def test_alias_dies_when_dest_redefined():
+    seg = segment_for("""
+    main:
+        addi $t1, $t0, 0
+        addi $t1, $t5, 7       # t1 redefined by a non-move
+        add  $t2, $t1, $zero
+        halt
+    """)
+    assert seg.instrs[2].rs == 9   # reads the new t1
+
+
+def test_branch_operands_rewritten():
+    seg = segment_for("""
+    main:
+        addi $t2, $zero, 7
+        addi $t1, $t0, 0
+        beq  $t1, $t2, out      # not taken: t1=0, t2=7
+    out:
+        halt
+    """)
+    assert seg.instrs[2].rs == 8
+
+
+def test_jr_source_never_rewritten():
+    """Rewriting JR's source would break return classification."""
+    seg = segment_for("""
+    main:
+        jal f
+        halt
+    f:
+        addi $t9, $ra, 0
+        jr   $ra
+    """, promote_all=True)
+    jrs = [i for i in seg.instrs if i.op.value == "jr"]
+    assert jrs and all(i.rs == 31 for i in jrs)
+
+
+def test_move_from_zero_rewrites_to_r0():
+    seg = segment_for("""
+    main:
+        addi $t1, $zero, 0     # t1 = 0
+        add  $t2, $t1, $t3
+        halt
+    """)
+    assert seg.instrs[1].rs == 0
+
+
+def test_stats_counted():
+    from repro.fillunit.opts.moves import RegisterMovePass
+    from repro.fillunit.opts.base import PassContext
+    from repro.tracecache.segment import TraceSegment
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Op
+    seg = TraceSegment(start_pc=0, instrs=[
+        Instruction(Op.ADDI, rd=9, rs=8, imm=0, pc=0),
+        Instruction(Op.ADD, rd=10, rs=9, rt=9, pc=4),
+    ])
+    stats = RegisterMovePass().apply(seg, PassContext())
+    assert stats["moves_marked"] == 1
+    assert stats["move_operands_rewritten"] == 2
+
+
+def test_self_move_marked_but_no_alias():
+    seg = segment_for("""
+    main:
+        addi $t0, $t0, 0
+        add  $t1, $t0, $zero
+        halt
+    """)
+    assert seg.instrs[0].move_flag
+    # consumer of t0 keeps reading t0 (identity alias); the second
+    # instruction is itself a move of t0.
+    assert seg.instrs[1].sources() == (8,)

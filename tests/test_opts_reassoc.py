@@ -1,0 +1,171 @@
+"""Reassociation pass tests (paper §4.3)."""
+
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.isa.opcodes import Op
+from tests.helpers import build_segments
+
+REASSOC = OptimizationConfig.only("reassoc")
+
+
+def segment_for(source, opts=REASSOC, **kw):
+    _, _, segments = build_segments(source, opts, **kw)
+    return segments[0]
+
+
+def test_cross_block_pair_combined():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        beq  $zero, $t9, next     # control-flow boundary
+    next:
+        addi $t1, $t0, 4
+        halt
+    """)
+    rewritten = seg.instrs[2]
+    assert rewritten.reassociated
+    assert rewritten.rs == 16      # $s0
+    assert rewritten.imm == 8
+
+
+def test_same_block_pair_inhibited_by_default():
+    """The compiler already reassociates within blocks; the fill unit
+    only acts across control-flow boundaries (paper §4.3)."""
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        addi $t1, $t0, 4
+        halt
+    """)
+    assert not seg.instrs[1].reassociated
+    assert seg.instrs[1].rs == 8
+
+
+def test_same_block_allowed_when_unrestricted():
+    opts = OptimizationConfig(reassoc=True, reassoc_cross_flow_only=False)
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        addi $t1, $t0, 4
+        halt
+    """, opts=opts)
+    assert seg.instrs[1].reassociated
+    assert seg.instrs[1].imm == 8
+
+
+def test_unconditional_jump_is_a_boundary():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        j next
+    next:
+        addi $t1, $t0, 12
+        halt
+    """)
+    assert seg.instrs[2].reassociated
+    assert seg.instrs[2].imm == 16
+
+
+def test_call_boundary_reassociates():
+    """Segments cross procedure boundaries, so caller-side address
+    setup combines with callee-side field offsets."""
+    seg = segment_for("""
+    main:
+        addi $a0, $s0, 8
+        jal f
+        halt
+    f:
+        addi $t0, $a0, 4
+        jr $ra
+    """)
+    callee_addi = [i for i in seg.instrs if i.op is Op.ADDI and i.rd == 8]
+    assert callee_addi and callee_addi[0].reassociated
+    assert callee_addi[0].rs == 16 and callee_addi[0].imm == 12
+
+
+def test_chain_collapses_transitively():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        beq  $zero, $t9, a
+    a:
+        addi $t1, $t0, 4
+        beq  $zero, $t9, b
+    b:
+        addi $t2, $t1, 4
+        halt
+    """)
+    last = [i for i in seg.instrs if i.rd == 10][0]
+    assert last.reassociated
+    assert last.rs == 16 and last.imm == 12
+
+
+def test_base_redefinition_invalidates():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 4
+        beq  $zero, $t9, next
+    next:
+        addi $s0, $s0, 100     # base changes!
+        addi $t1, $t0, 4       # must NOT become s0+8
+        halt
+    """)
+    target = [i for i in seg.instrs if i.rd == 9][0]
+    assert not target.reassociated
+    assert target.rs == 8
+
+
+def test_self_update_establishes_no_provenance():
+    seg = segment_for("""
+    main:
+        addi $t0, $t0, 4       # rs == rd: old value unreachable
+        beq  $zero, $t9, next
+    next:
+        addi $t1, $t0, 4
+        halt
+    """)
+    target = [i for i in seg.instrs if i.rd == 9][0]
+    assert not target.reassociated
+
+
+def test_immediate_overflow_blocks_rewrite():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 32000
+        beq  $zero, $t9, next
+    next:
+        addi $t1, $t0, 32000   # 64000 does not fit in 16 bits
+        halt
+    """)
+    target = [i for i in seg.instrs if i.rd == 9][0]
+    assert not target.reassociated
+    assert target.rs == 8 and target.imm == 32000
+
+
+def test_negative_immediates_combine():
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, -8
+        beq  $zero, $t9, next
+    next:
+        addi $t1, $t0, 4
+        halt
+    """)
+    target = [i for i in seg.instrs if i.rd == 9][0]
+    assert target.reassociated and target.imm == -4
+
+
+def test_marked_moves_not_treated_as_addi():
+    opts = OptimizationConfig(moves=True, reassoc=True)
+    seg = segment_for("""
+    main:
+        addi $t0, $s0, 0       # a move (marked by the earlier pass)
+        beq  $zero, $t9, next
+    next:
+        addi $t1, $t0, 4
+        halt
+    """, opts=opts)
+    target = [i for i in seg.instrs if i.rd == 9][0]
+    # move pass already rewrote the source to $s0; reassociation
+    # must not double-apply (it skips marked moves).
+    assert target.rs == 16
+    assert target.imm == 4

@@ -1,0 +1,194 @@
+"""Scaled-add pass tests (paper §4.4)."""
+
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.isa.opcodes import Op
+from tests.helpers import build_segments
+
+SCALED = OptimizationConfig.only("scaled_adds")
+
+
+def segment_for(source, opts=SCALED, **kw):
+    _, _, segments = build_segments(source, opts, **kw)
+    return segments[0]
+
+
+def find(seg, op, rd=None):
+    for instr in seg.instrs:
+        if instr.op is op and (rd is None or instr.rd == rd):
+            return instr
+    raise AssertionError(f"{op} not found")
+
+
+def test_shift_add_pair_collapsed():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        add $t2, $t1, $s0
+        halt
+    """)
+    add = find(seg, Op.ADD)
+    assert add.scale is not None
+    assert add.scale.src == 8 and add.scale.shamt == 2
+    # the shift itself stays (no dead-code elimination)
+    assert seg.instrs[0].op is Op.SLL
+
+
+def test_indexed_load_collapsed():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        lwx $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.LWX).scale is not None
+
+
+def test_displacement_load_and_store_collapsed():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 3
+        lw  $t2, 4($t1)
+        sll $t3, $t0, 2
+        sw  $t2, 0($t3)
+        halt
+    """)
+    assert find(seg, Op.LW).scale.shamt == 3
+    assert find(seg, Op.SW).scale.shamt == 2
+
+
+def test_operands_swapped_when_shift_in_rt():
+    """The fill unit may interchange source operands so the shifted
+    value sits in the scaled slot (paper §4.4)."""
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        add $t2, $s0, $t1     # shift result in rt
+        halt
+    """)
+    add = find(seg, Op.ADD)
+    assert add.scale is not None
+    assert add.rt == 16       # $s0 moved to the unscaled slot
+
+
+def test_shift_longer_than_three_not_collapsed():
+    """The 2-gate ALU path-length argument limits shifts to 3 bits."""
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 4
+        add $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is None
+
+
+def test_zero_shift_not_collapsed():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 0
+        add $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is None
+
+
+def test_shift_source_redefined_invalidates():
+    seg = segment_for("""
+    main:
+        sll  $t1, $t0, 2
+        addi $t0, $t0, 1      # shift source changes
+        add  $t2, $t1, $s0    # t1 != (new t0) << 2
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is None
+
+
+def test_shift_result_redefined_invalidates():
+    seg = segment_for("""
+    main:
+        sll  $t1, $t0, 2
+        addi $t1, $t1, 4
+        add  $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is None
+
+
+def test_self_shift_not_tracked():
+    seg = segment_for("""
+    main:
+        sll $t0, $t0, 2       # rd == rs: source destroyed
+        add $t2, $t0, $s0
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is None
+
+
+def test_cross_block_pair_collapses():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        beq $zero, $t9, next
+    next:
+        add $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is not None
+
+
+def test_two_consumers_both_scaled():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        add $t2, $t1, $s0
+        lwx $t3, $t1, $s1
+        halt
+    """)
+    assert find(seg, Op.ADD).scale is not None
+    assert find(seg, Op.LWX).scale is not None
+
+
+def test_sub_never_scaled():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        sub $t2, $t1, $s0
+        halt
+    """)
+    assert find(seg, Op.SUB).scale is None
+
+
+def test_indexed_store_value_slot_not_scaled():
+    """Only address operands may be scaled; the store value cannot."""
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        swx $t1, $s0, $s1     # t1 is the VALUE, not an address
+        halt
+    """)
+    swx = find(seg, Op.SWX)
+    assert swx.scale is None
+    assert swx.rd == 9
+
+
+def test_indexed_store_address_scaled_via_swap():
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        swx $t5, $s0, $t1     # address operand rt is the shift result
+        halt
+    """)
+    swx = find(seg, Op.SWX)
+    assert swx.scale is not None
+    assert swx.rt == 16       # $s0 swapped into the unscaled slot
+    assert swx.rd == 13       # value untouched
+
+
+def test_max_scale_shift_configurable():
+    opts = OptimizationConfig(scaled_adds=True, max_scale_shift=1)
+    seg = segment_for("""
+    main:
+        sll $t1, $t0, 2
+        add $t2, $t1, $s0
+        halt
+    """, opts=opts)
+    assert find(seg, Op.ADD).scale is None

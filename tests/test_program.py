@@ -1,0 +1,72 @@
+"""Program image and loader tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import ExecutionError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.machine import ArchState, Memory
+from repro.program import Program, load_program
+from repro.program.loader import STACK_TOP
+
+
+def test_post_init_assigns_pcs():
+    prog = Program([Instruction(Op.NOP), Instruction(Op.HALT)],
+                   text_base=0x2000)
+    assert [i.pc for i in prog.instructions] == [0x2000, 0x2004]
+    assert prog.text_end == 0x2008
+
+
+def test_entry_defaults_to_main_symbol():
+    prog = Program([Instruction(Op.NOP)], symbols={"main": 0x1000})
+    assert prog.entry == 0x1000
+    prog2 = Program([Instruction(Op.NOP)], text_base=0x3000)
+    assert prog2.entry == 0x3000
+
+
+def test_instr_at_bounds():
+    prog = Program([Instruction(Op.NOP)])
+    assert prog.instr_at(prog.text_base).op is Op.NOP
+    with pytest.raises(ExecutionError):
+        prog.instr_at(prog.text_base + 4)
+    with pytest.raises(ExecutionError):
+        prog.instr_at(prog.text_base - 4)
+    with pytest.raises(ExecutionError):
+        prog.instr_at(prog.text_base + 2)   # misaligned
+
+
+def test_contains_pc():
+    prog = Program([Instruction(Op.NOP), Instruction(Op.NOP)])
+    assert prog.contains_pc(prog.text_base)
+    assert prog.contains_pc(prog.text_base + 4)
+    assert not prog.contains_pc(prog.text_base + 8)
+    assert not prog.contains_pc(prog.text_base + 1)
+
+
+def test_symbol_lookup():
+    prog = assemble(".data\nv: .word 9\n.text\nmain: halt\n")
+    assert prog.symbol("v") == prog.data_base
+    with pytest.raises(KeyError):
+        prog.symbol("nope")
+
+
+def test_loader_copies_data_and_sets_registers():
+    prog = assemble(".data\nv: .word 0x1234\n.text\nmain: halt\n")
+    memory, state = Memory(), ArchState()
+    load_program(prog, memory, state)
+    assert memory.load_word(prog.data_base) == 0x1234
+    assert state.pc == prog.entry
+    assert state.read_reg(29) == STACK_TOP
+    assert state.read_reg(28) == prog.data_base
+
+
+def test_loader_without_state():
+    prog = assemble(".data\nv: .word 7\n.text\nmain: halt\n")
+    memory = Memory()
+    load_program(prog, memory)
+    assert memory.load_word(prog.data_base) == 7
+
+
+def test_len():
+    assert len(Program([Instruction(Op.NOP)] * 3)) == 3

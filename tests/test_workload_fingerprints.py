@@ -1,0 +1,97 @@
+"""Per-benchmark fingerprint tests: each synthetic stand-in must carry
+the static idiom signature its Table 2 profile requires. These run on
+the committed stream (no timing model), so they are fast and pin the
+workload generators against accidental drift during tuning.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.isa.instruction import move_source
+from repro.isa.opcodes import Op
+from repro.machine.executor import Executor
+
+SCALE = 0.15
+_CACHE: dict = {}
+
+
+def mix(name):
+    if name not in _CACHE:
+        trace = Executor(workloads.build(name, SCALE)).run()
+        total = len(trace)
+        moves = sum(1 for r in trace if move_source(r.instr) is not None)
+        short_shifts = sum(1 for r in trace
+                           if r.instr.op is Op.SLL
+                           and 1 <= (r.instr.imm or 0) <= 3)
+        addi_chainable = sum(1 for r in trace
+                             if r.instr.op is Op.ADDI
+                             and r.instr.rd not in (0, r.instr.rs))
+        loads = sum(1 for r in trace if r.instr.is_load())
+        calls = sum(1 for r in trace if r.instr.is_call())
+        indirect = sum(1 for r in trace
+                       if r.instr.is_indirect() and not r.instr.is_return())
+        _CACHE[name] = {
+            "total": total,
+            "moves": moves / total,
+            "short_shifts": short_shifts / total,
+            "addi": addi_chainable / total,
+            "loads": loads / total,
+            "calls": calls / total,
+            "indirect": indirect / total,
+        }
+    return _CACHE[name]
+
+
+# -- per-category leaders (Table 2's structure) ---------------------------
+
+def test_move_leaders():
+    movers = sorted(workloads.names(), key=lambda n: mix(n)["moves"],
+                    reverse=True)
+    assert {"li", "vortex", "m88ksim"} & set(movers[:5])
+    # the array codes sit at the bottom
+    assert {"go", "tex"} & set(movers[-5:])
+
+
+def test_shift_leaders():
+    shifty = sorted(workloads.names(),
+                    key=lambda n: mix(n)["short_shifts"], reverse=True)
+    assert {"go", "tex"} & set(shifty[:4])
+    assert mix("pgp")["short_shifts"] < 0.02
+
+
+def test_addi_chain_leaders():
+    chainy = sorted(workloads.names(), key=lambda n: mix(n)["addi"],
+                    reverse=True)
+    assert "m88ksim" in chainy[:4]
+    assert "gnuchess" in chainy[:6]
+
+
+def test_interpreters_have_indirect_dispatch():
+    for name in ("li", "perl", "python"):
+        assert mix(name)["indirect"] > 0.002, name
+    for name in ("pgp", "go", "tex"):
+        assert mix(name)["indirect"] == 0.0, name
+
+
+def test_every_benchmark_calls_functions():
+    for name in workloads.names():
+        assert mix(name)["calls"] > 0.001, name
+
+
+def test_every_benchmark_touches_memory():
+    for name in workloads.names():
+        assert mix(name)["loads"] > 0.02, name
+
+
+def test_pgp_is_memory_light():
+    """Cipher rounds live in registers."""
+    heavy = [mix(n)["loads"] for n in ("li", "vortex", "tex")]
+    assert mix("pgp")["loads"] < min(heavy)
+
+
+@pytest.mark.parametrize("name", workloads.names())
+def test_fingerprint_sane(name):
+    data = mix(name)
+    assert data["total"] > 1500
+    assert 0 <= data["moves"] < 0.35
+    assert 0 <= data["short_shifts"] < 0.30

@@ -1,0 +1,50 @@
+"""Calibration harness (development tool, not part of the library).
+
+Runs every benchmark under baseline and combined-optimization
+configurations and prints measured optimization coverage against the
+paper's Table 2 targets, plus IPC improvements.
+
+Usage: python tools/calibrate.py [bench ...]
+"""
+
+import sys
+import time
+
+from repro import workloads
+from repro.core import SimConfig, Simulator
+from repro.fillunit.opts.base import OptimizationConfig
+
+
+def main() -> None:
+    names = sys.argv[1:] or workloads.names()
+    t0 = time.time()
+    header = (f"{'bench':13s} {'instrs':>7s} {'IPC0':>5s} {'IPC*':>5s} "
+              f"{'imp%':>6s} | {'mv%':>5s}{'(t)':>5s} {'ra%':>5s}{'(t)':>5s} "
+              f"{'sc%':>5s}{'(t)':>5s} {'tot%':>5s}{'(t)':>5s}   tc%  misp%")
+    print(header)
+    imps = []
+    for name in names:
+        prog = workloads.build(name)
+        sim = Simulator(SimConfig.paper())
+        trace = sim.trace_program(prog)
+        base = sim.run(trace, name, "baseline")
+        opt = Simulator(SimConfig.paper(
+            OptimizationConfig.all())).run(trace, name, "all")
+        cov = opt.coverage.as_percentages(opt.instructions)
+        t2 = workloads.spec(name).paper_table2
+        imp = opt.improvement_over(base)
+        imps.append(imp)
+        print(f"{name:13s} {len(trace):7d} {base.ipc:5.2f} {opt.ipc:5.2f} "
+              f"{imp:6.1f} | "
+              f"{cov['moves']:5.1f}{t2.moves:5.1f} "
+              f"{cov['reassoc']:5.1f}{t2.reassoc:5.1f} "
+              f"{cov['scaled']:5.1f}{t2.scaled:5.1f} "
+              f"{cov['total']:5.1f}{t2.total:5.1f} "
+              f"{100 * opt.tc_instr_fraction:5.1f} "
+              f"{100 * base.mispredict_rate:6.2f}")
+    print(f"mean improvement {sum(imps) / len(imps):.1f}%   "
+          f"elapsed {time.time() - t0:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Compare two archived result files (regression tracking).
+
+Usage:
+    python tools/run_and_save.py results_a.json   # on version A
+    python tools/run_and_save.py results_b.json   # on version B
+    python tools/compare_runs.py results_a.json results_b.json
+"""
+
+import sys
+
+from repro.harness.export import diff_results, load_results
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    old_results = {(r.benchmark, r.config_label): r
+                   for r in load_results(sys.argv[1])}
+    new_results = {(r.benchmark, r.config_label): r
+                   for r in load_results(sys.argv[2])}
+    drifted = 0
+    for key in sorted(old_results.keys() & new_results.keys()):
+        text = diff_results(old_results[key], new_results[key])
+        if text:
+            print(text)
+            drifted += 1
+    for key in sorted(old_results.keys() ^ new_results.keys()):
+        print(f"only in one file: {key}")
+    shared = len(old_results.keys() & new_results.keys())
+    print(f"{drifted} drifted of {shared} shared experiments")
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

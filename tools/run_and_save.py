@@ -1,0 +1,29 @@
+"""Run the standard experiment set and archive results as JSON.
+
+Usage: python tools/run_and_save.py out.json [scale]
+"""
+
+import sys
+
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.export import dump_results
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    runner = ExperimentRunner(scale=scale)
+    results = []
+    for bench in runner.benchmarks:
+        results.append(runner.baseline(bench))
+        results.append(runner.run(bench, OptimizationConfig.all()))
+    dump_results(results, sys.argv[1])
+    print(f"wrote {len(results)} results to {sys.argv[1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Regenerate every table and figure at full scale and write the
+results to experiments_output.txt (source material for EXPERIMENTS.md)."""
+
+import sys
+import time
+
+from repro.harness import ExperimentRunner, figures, tables
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    t0 = time.time()
+    runner = ExperimentRunner(scale=scale)
+    out = []
+    out.append(tables.table1(runner).render())
+    for fn in (figures.figure3, figures.figure4, figures.figure5,
+               figures.figure6, figures.figure7, figures.figure8):
+        fig = fn(runner)
+        out.append(fig.render())
+        if fig.figure == "Figure 7":
+            out.append(f"(mean baseline {fig.extra['mean_baseline']:.1f}% "
+                       f"-> placement {fig.extra['mean_placement']:.1f}%)")
+        if fig.figure == "Figure 8":
+            out.append(f"(SPECint95 mean {fig.extra['specint_mean']:.1f}%)")
+    out.append(tables.table2(runner).render())
+    text = ("\n\n".join(out)
+            + f"\n\nscale={scale}  elapsed={time.time()-t0:.0f}s\n")
+    open("experiments_output.txt", "w").write(text)
+    print(text)
+
+if __name__ == "__main__":
+    main()
