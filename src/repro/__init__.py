@@ -13,6 +13,8 @@ evaluation rests on:
   optimizations (:mod:`repro.tracecache`, :mod:`repro.fillunit`);
 * a 16-wide clustered trace-cache processor timing model
   (:mod:`repro.core`);
+* run observability — hierarchical counters, structured events, exact
+  cycle attribution (:mod:`repro.telemetry`);
 * fifteen synthetic benchmarks standing in for SPECint95 + UNIX apps
   (:mod:`repro.workloads`), and the experiment harness regenerating
   every table and figure (:mod:`repro.harness`).
@@ -41,6 +43,7 @@ from repro.core import SimConfig, SimResult, Simulator, simulate
 from repro.fillunit.opts.base import OptimizationConfig
 from repro.machine import Executor, run_program
 from repro.program import Program
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -54,6 +57,7 @@ __all__ = [
     "Simulator",
     "simulate",
     "OptimizationConfig",
+    "Telemetry",
     "workloads",
     "__version__",
 ]

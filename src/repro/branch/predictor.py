@@ -98,6 +98,8 @@ class MultiBranchPredictor:
         outcome (oracle update ordering); see DESIGN.md §3.
         """
         table = self.phts[min(position, len(self.phts) - 1)]
+        if table.predict(pc, self.history.value) != taken:
+            self.stats.cond_mispredicts += 1
         table.update(pc, self.history.value, taken)
         self.history.push(taken)
         self.stats.cond_predictions += 1

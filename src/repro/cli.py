@@ -5,6 +5,9 @@ Commands:
 * ``list`` — the fifteen benchmarks with their paper fingerprints.
 * ``run BENCH`` — simulate one benchmark under a chosen optimization
   set and print the result summary.
+* ``profile BENCH`` — simulate with full telemetry: cycle attribution
+  table plus the hierarchical counter snapshot (optionally archived as
+  JSONL with ``--telemetry-out``).
 * ``compare BENCH`` — baseline vs each optimization vs combined.
 * ``figures`` — regenerate the paper's figures 3-8 (ASCII).
 * ``tables`` — regenerate tables 1-2.
@@ -47,6 +50,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fill pipeline latency in cycles (default 5)")
 
 
+def _add_telemetry_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry-out", metavar="FILE.jsonl",
+                        help="append structured telemetry events to "
+                             "FILE.jsonl")
+
+
+def _make_telemetry(args):
+    """A Telemetry session per *args*, with an optional JSONL sink.
+
+    Returns ``(telemetry, sink)``; *sink* is None without
+    ``--telemetry-out``.
+    """
+    from repro.telemetry import Telemetry
+    telemetry = Telemetry()
+    sink = None
+    if getattr(args, "telemetry_out", None):
+        sink = telemetry.attach_jsonl(args.telemetry_out)
+    return telemetry, sink
+
+
+def _close_telemetry(telemetry, sink) -> None:
+    if sink is not None:
+        telemetry.close()
+        print(f"wrote {sink.written} telemetry events to {sink.path}")
+
+
 def cmd_list(args) -> int:
     print(f"{'benchmark':13s} {'suite':10s} "
           f"{'mv%':>5s} {'ra%':>5s} {'sc%':>5s} {'tot%':>5s}  kernel")
@@ -63,7 +92,11 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     program = workloads.build(args.benchmark, args.scale)
     config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
-    result = Simulator(config).run(program, args.benchmark, args.opts)
+    telemetry = sink = None
+    if args.telemetry_out:
+        telemetry, sink = _make_telemetry(args)
+    result = Simulator(config, telemetry=telemetry).run(
+        program, args.benchmark, args.opts)
     print(result.summary())
     cov = result.coverage.as_percentages(result.instructions)
     print(f"transformed: {cov['total']:.1f}% "
@@ -71,12 +104,58 @@ def cmd_run(args) -> int:
           f"scaled {cov['scaled']:.1f})")
     print(f"mispredict rate: {100 * result.mispredict_rate:.2f}%   "
           f"segments built: {result.segments_built}")
+    _close_telemetry(telemetry, sink)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.telemetry.attribution import render_attribution
+    program = workloads.build(args.benchmark, args.scale)
+    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    telemetry, sink = _make_telemetry(args)
+    result = Simulator(config, telemetry=telemetry).run(
+        program, args.benchmark, args.opts)
+    print(result.summary())
+    print()
+    print(render_attribution(result.attribution, result.cycles))
+    print()
+    print("telemetry counters")
+    for scope, value in result.telemetry.items():
+        if isinstance(value, dict):     # histogram snapshot
+            value = (f"count={value['count']} mean={value['mean']:.1f} "
+                     f"min={value['min']} max={value['max']}")
+        print(f"  {scope:42s} {value}")
+    stream = telemetry.events
+    print(f"\nevents: {stream.emitted} emitted, "
+          f"{len(stream)} retained, {stream.dropped} aged out of the "
+          f"ring buffer")
+    _close_telemetry(telemetry, sink)
     return 0
 
 
 def cmd_compare(args) -> int:
     program = workloads.build(args.benchmark, args.scale)
-    simulator = Simulator(SimConfig.paper(fill_latency=args.fill_latency))
+
+    handle = None
+    written = 0
+    if args.telemetry_out:
+        handle = open(args.telemetry_out, "w")
+
+    def leg_telemetry():
+        """A fresh session per leg; all legs share one JSONL file, so
+        each leg's counters and attribution stay independent while the
+        archive holds the whole comparison."""
+        nonlocal written
+        if handle is None:
+            return None
+        from repro.telemetry import Telemetry
+        from repro.telemetry.events import JsonlSink
+        telemetry = Telemetry()
+        telemetry.attach(JsonlSink(handle))
+        return telemetry
+
+    simulator = Simulator(SimConfig.paper(fill_latency=args.fill_latency),
+                          telemetry=leg_telemetry())
     trace = simulator.trace_program(program)
     baseline = simulator.run(trace, args.benchmark, "baseline")
     print(baseline.summary())
@@ -85,9 +164,13 @@ def cmd_compare(args) -> int:
         sets += ["cse", "dead_code", "extended"]
     for name in sets:
         config = SimConfig.paper(_opt_config(name), args.fill_latency)
-        result = Simulator(config).run(trace, args.benchmark, name)
+        result = Simulator(config, telemetry=leg_telemetry()).run(
+            trace, args.benchmark, name)
         print(f"  {name:12s} IPC {result.ipc:5.2f}  "
               f"({result.improvement_over(baseline):+5.1f}%)")
+    if handle is not None:
+        handle.close()
+        print(f"wrote telemetry for all legs to {args.telemetry_out}")
     return 0
 
 
@@ -166,7 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=workloads.names())
     _add_common(p_run)
+    _add_telemetry_out(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="simulate with cycle attribution and counters")
+    p_prof.add_argument("benchmark", choices=workloads.names())
+    _add_common(p_prof)
+    _add_telemetry_out(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
 
     p_cmp = sub.add_parser("compare",
                            help="baseline vs each optimization")
@@ -175,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--fill-latency", type=int, default=5)
     p_cmp.add_argument("--extended", action="store_true",
                        help="also run the future-work passes")
+    _add_telemetry_out(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_fig = sub.add_parser("figures", help="regenerate figures 3-8")

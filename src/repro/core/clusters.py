@@ -80,6 +80,8 @@ class BypassNetwork:
     def __init__(self, cluster_size: int, penalty: int) -> None:
         self.cluster_size = cluster_size
         self.penalty = penalty
+        #: operand deliveries that paid the cross-cluster penalty
+        self.crossings = 0
 
     def cluster_of_slot(self, slot: int) -> int:
         return slot // self.cluster_size
@@ -94,6 +96,7 @@ class BypassNetwork:
         """
         if producer_cluster is None or producer_cluster == consumer_cluster:
             return ready
+        self.crossings += 1
         return ready + self.penalty
 
 

@@ -5,13 +5,28 @@ when every committed instruction was fetched, renamed, completed and
 retired — the raw material for understanding *why* a configuration is
 faster (which chain shrank, where the bypass penalty went).
 
-Example::
+Two equivalent attachment points share one capture path:
 
-    model = PipelineModel(config)
-    capture = TimingTrace(limit=200)
-    model.timing_hook = capture
-    model.run(trace)
-    print(capture.render())
+* directly, as the model's ``timing_hook`` callable::
+
+      model = PipelineModel(config)
+      capture = TimingTrace(limit=200)
+      model.timing_hook = capture
+      model.run(trace)
+      print(capture.render())
+
+* as a sink on a telemetry event stream (it declares
+  ``wants_instr_timing``, which turns on the pipeline's per-instruction
+  ``instr.retired`` events)::
+
+      telemetry = Telemetry()
+      capture = TimingTrace(limit=200)
+      telemetry.attach(capture)
+      Simulator(config, telemetry=telemetry).run(program)
+
+Records past ``limit`` are not silently discarded: the ``dropped``
+counter says how many were seen but not kept, and ``render()`` reports
+it.
 """
 
 from __future__ import annotations
@@ -42,21 +57,43 @@ class TimingRecord:
 
 
 class TimingTrace:
-    """Bounded per-instruction timing capture (a callable hook)."""
+    """Bounded per-instruction timing capture.
+
+    Usable both as the pipeline's ``timing_hook`` callable and as a
+    telemetry event sink (``handle``); both paths funnel into the same
+    capture logic.
+    """
+
+    #: as an event sink, ask the pipeline for ``instr.retired`` events.
+    wants_instr_timing = True
 
     def __init__(self, limit: int = 1000, start_seq: int = 0) -> None:
         self.limit = limit
         self.start_seq = start_seq
         self.records: list = []
+        #: records seen after the limit was reached (not retained)
+        self.dropped = 0
+
+    def _capture(self, fields: dict) -> None:
+        if fields["seq"] < self.start_seq:
+            return
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(TimingRecord(**fields))
 
     def __call__(self, *, seq: int, pc: int, op: str, fetch: int,
                  rename: int, complete: int, retire: int, slot: int,
                  from_tc: bool, mispredicted: bool) -> None:
-        if seq < self.start_seq or len(self.records) >= self.limit:
-            return
-        self.records.append(TimingRecord(
-            seq, pc, op, fetch, rename, complete, retire, slot,
-            from_tc, mispredicted))
+        self._capture(dict(seq=seq, pc=pc, op=op, fetch=fetch,
+                           rename=rename, complete=complete,
+                           retire=retire, slot=slot, from_tc=from_tc,
+                           mispredicted=mispredicted))
+
+    def handle(self, event) -> None:
+        """Telemetry-sink entry point for ``instr.retired`` events."""
+        if event.kind == "instr.retired":
+            self._capture(event.data)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -77,6 +114,9 @@ class TimingTrace:
                 f"{r.latency:4d} {r.slot:4d} "
                 f"{'TC' if r.from_tc else 'IC'}"
                 f"{' MISP' if r.mispredicted else ''}")
+        if self.dropped:
+            lines.append(f"({self.dropped} records past the "
+                         f"{self.limit}-record limit were dropped)")
         return "\n".join(lines)
 
 

@@ -14,6 +14,15 @@ to structural and dataflow constraints. Mispredicted branches stall
 subsequent fetch until resolution — *except* the instructions already
 inside the same trace segment along the correct path, which is exactly
 the inactive-issue benefit of the baseline machine.
+
+Observability: every run counts against a hierarchical telemetry
+registry (the model's own, or the one of an attached
+:class:`~repro.telemetry.Telemetry` session), which is the single
+source of truth behind :class:`~repro.core.results.SimResult`'s
+counters. With a session attached the model additionally emits
+structured events (mispredicts, trace cache misfetches, checkpoint
+repairs, fill-unit activity) and feeds the top-down cycle-accounting
+pass; without one, those paths collapse to null-object no-ops.
 """
 
 from __future__ import annotations
@@ -33,6 +42,17 @@ from repro.core.rename import RenameUnit, RetireUnit
 from repro.core.results import SimResult
 from repro.fillunit.unit import FillUnit, FillUnitConfig
 from repro.isa.opcodes import OpClass
+from repro.telemetry.attribution import CycleAccountant
+from repro.telemetry.events import (
+    BRANCH_MISPREDICT,
+    CHECKPOINT_REPAIR,
+    FETCH_MISFETCH,
+    INSTR_RETIRED,
+    NULL_EVENT_STREAM,
+    RUN_FINISHED,
+    RUN_STARTED,
+)
+from repro.telemetry.registry import TelemetryRegistry
 from repro.tracecache.cache import TraceCache
 
 
@@ -52,17 +72,70 @@ class _FetchEntry:
     phantom: bool = False
 
 
+#: registry scope behind each hot-path counter the model maintains.
+_METRIC_SCOPES = {
+    "tc_instrs": "fetch.tc.instrs",
+    "ic_instrs": "fetch.ic.instrs",
+    "cov_moves": "fetch.tc.opt.moves",
+    "cov_reassoc": "fetch.tc.opt.reassoc",
+    "cov_scaled": "fetch.tc.opt.scaled",
+    "cov_any": "fetch.tc.opt.any",
+    "cond_branches": "branch.cond.seen",
+    "mispredicts": "branch.cond.mispredicts",
+    "promoted_fetches": "branch.promoted.fetches",
+    "promoted_mispredicts": "branch.promoted.mispredicts",
+    "indirect_mispredicts": "branch.indirect.mispredicts",
+    "predicated_branches": "predication.branches",
+    "phantoms": "predication.phantoms",
+    "moves_eliminated": "rename.moves.eliminated",
+    "bypass_delayed": "backend.bypass.cross_cluster",
+    "exec_with_sources": "backend.exec.with_sources",
+    "checkpoint_stalls": "rename.checkpoint.stalls",
+}
+
+
+class _Metrics:
+    """Cached registry handles for the replay loop's hot counters.
+
+    A telemetry session may span several runs; start values are
+    captured here so one model's run reports per-run deltas even
+    against a shared, accumulating registry.
+    """
+
+    def __init__(self, registry: TelemetryRegistry) -> None:
+        for attr, scope in _METRIC_SCOPES.items():
+            setattr(self, attr, registry.counter(scope))
+        self.group_size = registry.histogram("fetch.group.size")
+        self._starts = {attr: getattr(self, attr).value
+                        for attr in _METRIC_SCOPES}
+
+    def delta(self, attr: str) -> int:
+        return getattr(self, attr).value - self._starts[attr]
+
+
 class PipelineModel:
     """One configured machine instance; replays committed traces."""
 
-    def __init__(self, config: SimConfig) -> None:
+    def __init__(self, config: SimConfig, telemetry=None) -> None:
         self.config = config
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry.enabled:
+            self.registry = telemetry.registry
+            self.events = telemetry.events
+        else:
+            # The registry stays live even without a session: it is the
+            # source of truth the SimResult counters derive from.
+            self.registry = TelemetryRegistry()
+            self.events = NULL_EVENT_STREAM
+        registry_arg = self.registry
+        events_arg = self.events if self.events.enabled else None
         self.hierarchy = MemoryHierarchy(config.hierarchy)
         self.predictor = MultiBranchPredictor(config.predictor)
         self.trace_cache = (TraceCache(config.trace_cache)
                             if config.trace_cache_enabled else None)
         self.fill_unit = None
         if self.trace_cache is not None:
+            self.trace_cache.events = events_arg
             fill_config = FillUnitConfig(
                 max_instrs=config.trace_cache.max_instrs,
                 max_cond_branches=config.trace_cache.max_cond_branches,
@@ -73,7 +146,9 @@ class PipelineModel:
                 optimizations=config.optimizations,
             )
             self.fill_unit = FillUnit(fill_config, self.trace_cache,
-                                      self.predictor.bias)
+                                      self.predictor.bias,
+                                      registry=registry_arg,
+                                      events=events_arg)
         self.fus = FunctionalUnits(config.num_fus)
         self.rs = ReservationStations(config.num_fus, config.rs_per_fu)
         self.bypass = BypassNetwork(config.cluster_size,
@@ -87,6 +162,7 @@ class PipelineModel:
         self.memsched = MemoryScheduler(self.hierarchy,
                                         config.store_forward_window)
         self._ic_line_mask = ~(config.hierarchy.l1i_line - 1)
+        self._m = _Metrics(self.registry)
         #: optional per-instruction timing callback; see
         #: :class:`repro.core.debug.TimingTrace`.
         self.timing_hook = None
@@ -115,6 +191,7 @@ class PipelineModel:
                 return self._fetch_from_segment(segment, records, start,
                                                 cycle)
             self.fill_unit.note_fetch_miss(pc)
+            self.events.emit(FETCH_MISFETCH, cycle, pc=pc)
         return self._fetch_from_icache(records, start, cycle)
 
     def _path_chooser(self, segment) -> int:
@@ -268,25 +345,49 @@ class PipelineModel:
         n = len(records)
         result = SimResult(benchmark=benchmark, config_label=label,
                            instructions=n, cycles=0)
+        events = self.events
+        events.emit(RUN_STARTED, 0, benchmark=benchmark, label=label,
+                    instructions=n)
         if n == 0:
+            self._finish_stats(result)
+            events.emit(RUN_FINISHED, 0, benchmark=benchmark,
+                        label=label, instructions=0, cycles=0, ipc=0.0)
             return result
+
+        m = self._m
+        accountant = None
+        if self.telemetry is not None and self.telemetry.attribution:
+            accountant = CycleAccountant(config.cross_cluster_penalty)
+        hook = self.timing_hook
+        want_payload = (hook is not None) or events.wants_instr_timing
+        emit_retired = events.wants_instr_timing
 
         reg_ready = [(0, None)] * 32
         retire_cycles: list = []
         window = config.window_size
         cluster_size = config.cluster_size
         redirect = config.mispredict_redirect
-        coverage = result.coverage
 
         fetch_ready = 0
         index = 0
+        # Front-end delay decomposition of the *next* group's fetch
+        # cycle, for the cycle-accounting pass: how much of it is
+        # mispredict redirect vs serialization drain.
+        pending_recovery = 0
+        pending_serialize = 0
         while index < n:
+            requested = fetch_ready
             entries, fetch_cycle = self._fetch_group(records, index,
                                                      fetch_ready)
             if not entries:     # defensive; cannot happen on real traces
                 index += 1
                 continue
+            fetch_extra = fetch_cycle - requested
+            group_recovery = pending_recovery
+            group_serialize = pending_serialize
+            m.group_size.observe(len(entries))
             group_next = fetch_cycle + 1
+            recovery_bump = 0
             serialize_after = None
 
             consumed_in_group = 0
@@ -299,6 +400,11 @@ class PipelineModel:
                 is_branch = instr.is_cond_branch()
                 checkpoint_free = (self.checkpoints.acquire(fetch_cycle + 1)
                                    if is_branch else 0)
+                if checkpoint_free > fetch_cycle + 1:
+                    m.checkpoint_stalls.add()
+                    events.emit(CHECKPOINT_REPAIR, fetch_cycle,
+                                pc=record.pc if record else 0,
+                                resume=checkpoint_free)
                 renamed = self.rename_unit.rename(
                     fetch_cycle, is_branch, window_release,
                     not_before=checkpoint_free)
@@ -306,66 +412,92 @@ class PipelineModel:
                 if entry.phantom:
                     # Issues and executes; architecturally writes back
                     # its old destination value. No committed record.
-                    self._execute(entry, renamed, reg_ready, result,
-                                  cluster_size)
-                    result.predication_phantoms += 1
+                    self._execute(entry, renamed, reg_ready, cluster_size)
+                    m.phantoms.add()
                     continue
                 consumed_in_group += 1
 
                 if entry.from_tc:
-                    result.tc_fetched_instrs += 1
+                    m.tc_instrs.add()
                     if instr.move_flag:
-                        coverage.moves += 1
+                        m.cov_moves.add()
                     if instr.reassociated:
-                        coverage.reassoc += 1
+                        m.cov_reassoc.add()
                     if instr.scale is not None:
-                        coverage.scaled += 1
+                        m.cov_scaled.add()
                     if (instr.move_flag or instr.reassociated
                             or instr.scale is not None):
-                        coverage.any_opt += 1
+                        m.cov_any.add()
                 else:
-                    result.ic_fetched_instrs += 1
+                    m.ic_instrs.add()
 
                 if instr.move_flag:
                     complete = self._execute_move(instr, renamed, reg_ready)
-                    result.moves_eliminated += 1
+                    penalized = False
+                    m.moves_eliminated.add()
                 else:
-                    complete = self._execute(entry, renamed, reg_ready,
-                                             result, cluster_size)
+                    complete, penalized = self._execute(
+                        entry, renamed, reg_ready, cluster_size)
 
                 retire_cycle = self.retire_unit.retire(complete)
                 retire_cycles.append(retire_cycle)
-                if self.timing_hook is not None:
-                    self.timing_hook(
+                if accountant is not None:
+                    # Group-level delays are debited once, on the
+                    # group's first retiring instruction.
+                    accountant.on_retire(
+                        fetch_cycle, complete, retire_cycle,
+                        recovery=group_recovery,
+                        fetch_extra=fetch_extra,
+                        extra_is_tc_miss=self.trace_cache is not None,
+                        serialize=group_serialize,
+                        bypass_penalized=penalized)
+                    group_recovery = 0
+                    group_serialize = 0
+                    fetch_extra = 0
+                if want_payload:
+                    payload = dict(
                         seq=seq, pc=record.pc, op=instr.op.value,
                         fetch=fetch_cycle, rename=renamed,
                         complete=complete, retire=retire_cycle,
                         slot=entry.slot, from_tc=entry.from_tc,
                         mispredicted=entry.mispredicted)
+                    if hook is not None:
+                        hook(**payload)
+                    if emit_retired:
+                        events.emit(INSTR_RETIRED, retire_cycle,
+                                    **payload)
 
                 arch_instr = record.instr
                 if arch_instr.is_cond_branch():
-                    result.cond_branches += 1
+                    m.cond_branches.add()
                     # The bias table keeps learning from the architected
                     # branch even when the segment carries it predicated
                     # away (as a NOP).
                     self.predictor.record_outcome(record.pc, record.taken)
                     if instr.guard is None and not instr.is_cond_branch():
-                        result.predicated_branches += 1
+                        m.predicated_branches.add()
                     if entry.promoted:
-                        result.promoted_fetches += 1
+                        m.promoted_fetches.add()
                         if entry.mispredicted:
-                            result.promoted_mispredicts += 1
+                            m.promoted_mispredicts.add()
                     if entry.mispredicted:
-                        result.mispredicts += 1
+                        m.mispredicts.add()
+                        events.emit(BRANCH_MISPREDICT, complete,
+                                    pc=record.pc, taken=record.taken,
+                                    promoted=entry.promoted,
+                                    indirect=False)
                 elif entry.mispredicted:
-                    result.indirect_mispredicts += 1
+                    m.indirect_mispredicts.add()
+                    events.emit(BRANCH_MISPREDICT, complete,
+                                pc=record.pc, taken=True,
+                                promoted=False, indirect=True)
 
                 if is_branch:
                     self.checkpoints.commit(complete)
                 if entry.mispredicted:
                     resume = complete + redirect
                     if resume > group_next:
+                        recovery_bump += resume - group_next
                         group_next = resume
                     if wrong_path is not None \
                             and arch_instr.is_cond_branch():
@@ -378,8 +510,13 @@ class PipelineModel:
                 if self.fill_unit is not None:
                     self.fill_unit.retire(record, retire_cycle)
 
-            if serialize_after is not None:
-                group_next = max(group_next, serialize_after + 1)
+            serialize_bump = 0
+            if serialize_after is not None \
+                    and serialize_after + 1 > group_next:
+                serialize_bump = serialize_after + 1 - group_next
+                group_next = serialize_after + 1
+            pending_recovery = recovery_bump
+            pending_serialize = serialize_bump
             fetch_ready = group_next
             index += consumed_in_group
 
@@ -387,6 +524,14 @@ class PipelineModel:
         if wrong_path is not None:
             result.wrong_path_fetches = wrong_path.instructions
         self._finish_stats(result)
+        if accountant is not None:
+            result.attribution = accountant.finish(result.cycles)
+        events.emit(RUN_FINISHED, result.cycles, benchmark=benchmark,
+                    label=label, instructions=n, cycles=result.cycles,
+                    ipc=result.ipc,
+                    mispredict_rate=result.mispredict_rate,
+                    tc_instr_fraction=result.tc_instr_fraction,
+                    attribution=result.attribution)
         return result
 
     # ==================================================================
@@ -411,16 +556,17 @@ class PipelineModel:
         return max(renamed, ready[0])
 
     def _execute(self, entry: _FetchEntry, renamed: int, reg_ready: list,
-                 result: SimResult, cluster_size: int) -> int:
+                 cluster_size: int):
         """Schedule one instruction onto its functional unit; returns
-        its completion cycle and updates dataflow state."""
+        ``(completion cycle, last-source-bypass-penalized)`` and
+        updates dataflow state."""
         instr = entry.instr
         record = entry.record
         if instr.opclass is OpClass.NOP:
             # NOPs (including instructions squashed by dead-code
             # elimination) occupy their trace cache slot but are never
             # dispatched to a functional unit.
-            return renamed
+            return renamed, False
         fu = entry.slot
         cluster = fu // cluster_size
         bypass = self.bypass
@@ -458,9 +604,9 @@ class PipelineModel:
             elif effective == dispatch_ready and penalized:
                 last_penalized = True
         if saw_source:
-            result.executed_with_sources += 1
+            self._m.exec_with_sources.add()
             if last_penalized:
-                result.bypass_delayed += 1
+                self._m.bypass_delayed.add()
 
         rs_free = self.rs.admit(fu, renamed)
         earliest = max(renamed + 1,
@@ -483,22 +629,80 @@ class PipelineModel:
         dest = instr.dest()
         if dest is not None:
             reg_ready[dest] = (complete, cluster)
-        return complete
+        return complete, last_penalized
 
     # ==================================================================
 
     def _finish_stats(self, result: SimResult) -> None:
+        """Derive the result's counters from the telemetry registry and
+        mirror the per-component statistics into it."""
+        m = self._m
+        registry = self.registry
+        result.tc_fetched_instrs = m.delta("tc_instrs")
+        result.ic_fetched_instrs = m.delta("ic_instrs")
+        result.cond_branches = m.delta("cond_branches")
+        result.mispredicts = m.delta("mispredicts")
+        result.promoted_fetches = m.delta("promoted_fetches")
+        result.promoted_mispredicts = m.delta("promoted_mispredicts")
+        result.indirect_mispredicts = m.delta("indirect_mispredicts")
+        result.predicated_branches = m.delta("predicated_branches")
+        result.predication_phantoms = m.delta("phantoms")
+        result.moves_eliminated = m.delta("moves_eliminated")
+        result.bypass_delayed = m.delta("bypass_delayed")
+        result.executed_with_sources = m.delta("exec_with_sources")
+        cov = result.coverage
+        cov.moves = m.delta("cov_moves")
+        cov.reassoc = m.delta("cov_reassoc")
+        cov.scaled = m.delta("cov_scaled")
+        cov.any_opt = m.delta("cov_any")
+
+        # Per-component statistics (fresh per model) mirrored into the
+        # registry so one snapshot holds the whole machine.
         if self.trace_cache is not None:
-            result.tc_lookups = self.trace_cache.stats.lookups
-            result.tc_hits = self.trace_cache.stats.hits
+            tc = self.trace_cache.stats
+            result.tc_lookups = tc.lookups
+            result.tc_hits = tc.hits
+            registry.counter("fetch.tc.lookups").add(tc.lookups)
+            registry.counter("fetch.tc.hits").add(tc.hits)
+            registry.counter("fetch.tc.misses").add(tc.lookups - tc.hits)
+            registry.counter("fetch.tc.fills").add(tc.fills)
+            registry.counter("fetch.tc.refreshes").add(tc.refreshes)
+            registry.counter("fetch.tc.multipath_hits").add(
+                tc.multipath_hits)
+            registry.gauge("fetch.tc.resident_segments").set(
+                self.trace_cache.resident_segments())
         if self.fill_unit is not None:
             result.segments_built = self.fill_unit.stats.segments_built
             result.segments_deduped = self.fill_unit.stats.segments_deduped
             result.pass_totals = self.fill_unit.pass_totals
+            registry.counter("fillunit.instructions_collected").add(
+                self.fill_unit.stats.instructions_collected)
         result.dcache_hits = self.hierarchy.l1d.stats.hits
         result.dcache_misses = self.hierarchy.l1d.stats.misses
         result.icache_misses = self.hierarchy.l1i.stats.misses
         result.forwarded_loads = self.memsched.forwarded_loads
+        registry.counter("mem.l1d.hits").add(result.dcache_hits)
+        registry.counter("mem.l1d.misses").add(result.dcache_misses)
+        registry.counter("mem.l1i.misses").add(result.icache_misses)
+        registry.counter("mem.forwarded_loads").add(result.forwarded_loads)
+
+        pred = self.predictor.stats
+        registry.counter("branch.pht.predictions").add(
+            pred.cond_predictions)
+        registry.counter("branch.pht.mispredicts").add(
+            pred.cond_mispredicts)
+        registry.counter("branch.indirect.predictions").add(
+            pred.indirect_predictions)
+        registry.counter("rename.window_stalls").add(
+            self.rename_unit.window_stalls)
+        registry.counter("rename.width_stalls").add(
+            self.rename_unit.width_stalls)
+        registry.counter("rename.block_limit_stalls").add(
+            self.rename_unit.block_limit_stalls)
+        registry.counter("backend.bypass.crossings").add(
+            self.bypass.crossings)
+
+        result.telemetry = registry.flat()
 
 
 __all__ = ["PipelineModel"]

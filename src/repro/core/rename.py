@@ -27,6 +27,7 @@ class RenameUnit:
         self._blocks = 0
         self.window_stalls = 0
         self.block_limit_stalls = 0
+        self.width_stalls = 0
 
     def rename(self, fetch_cycle: int, is_block_end: bool,
                window_release: int, not_before: int = 0) -> int:
@@ -51,6 +52,8 @@ class RenameUnit:
                or (is_block_end and self._blocks >= self.max_blocks)):
             if is_block_end and self._blocks >= self.max_blocks:
                 self.block_limit_stalls += 1
+            else:
+                self.width_stalls += 1
             self._cycle += 1
             self._count = 0
             self._blocks = 0

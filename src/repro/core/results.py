@@ -17,13 +17,20 @@ class OptCoverage:
     any_opt: int = 0
 
     def as_percentages(self, total: int) -> dict:
+        """Per-field percentages of *total* committed instructions.
+
+        The key set is identical in every case: one key per counter
+        field (``any_opt`` included) plus the legacy ``total`` alias
+        for ``any_opt``.
+        """
         if total == 0:
             return {"moves": 0.0, "reassoc": 0.0, "scaled": 0.0,
-                    "total": 0.0}
+                    "any_opt": 0.0, "total": 0.0}
         return {
             "moves": 100.0 * self.moves / total,
             "reassoc": 100.0 * self.reassoc / total,
             "scaled": 100.0 * self.scaled / total,
+            "any_opt": 100.0 * self.any_opt / total,
             "total": 100.0 * self.any_opt / total,
         }
 
@@ -74,6 +81,13 @@ class SimResult:
     pass_totals: dict = field(default_factory=dict)
 
     coverage: OptCoverage = field(default_factory=OptCoverage)
+
+    # Telemetry (see repro.telemetry): the flat {scope: value} registry
+    # snapshot this run produced, and the top-down cycle attribution
+    # (classes sum exactly to `cycles`; empty unless a Telemetry
+    # session with attribution enabled was attached to the run).
+    telemetry: dict = field(default_factory=dict)
+    attribution: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
 

@@ -27,8 +27,12 @@ class Simulator:
     amortizes functional execution over many timing runs.
     """
 
-    def __init__(self, config: SimConfig) -> None:
+    def __init__(self, config: SimConfig, telemetry=None) -> None:
         self.config = config
+        #: optional :class:`repro.telemetry.Telemetry` session shared by
+        #: every model this simulator creates (events, attribution, and
+        #: a registry that accumulates across runs).
+        self.telemetry = telemetry
 
     def trace_program(self, program: Program,
                       max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
@@ -52,17 +56,19 @@ class Simulator:
                 benchmark = program.name
         else:
             trace = program_or_trace
-        model = PipelineModel(self.config)
+        model = PipelineModel(self.config, telemetry=self.telemetry)
         return model.run(trace, benchmark=benchmark, label=label,
                          program=program)
 
 
 def simulate(program_or_trace, config: Optional[SimConfig] = None,
-             benchmark: str = "bench", label: str = "run") -> SimResult:
+             benchmark: str = "bench", label: str = "run",
+             telemetry=None) -> SimResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     if config is None:
         config = SimConfig.paper()
-    return Simulator(config).run(program_or_trace, benchmark, label)
+    return Simulator(config, telemetry=telemetry).run(
+        program_or_trace, benchmark, label)
 
 
 __all__ = ["Simulator", "simulate"]

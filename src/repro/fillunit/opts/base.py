@@ -94,6 +94,21 @@ class PassContext:
     #: the bias table, when available: lets passes ask whether a branch
     #: is strongly biased (predication skips well-predicted branches).
     bias: object = None
+    #: optional telemetry registry; :meth:`reject` records why a pass
+    #: declined a candidate it matched (scope
+    #: ``fillunit.opts.<pass>.rejected.<reason>``).
+    registry: object = None
+    #: per-segment rejection counts ``{(pass, reason): n}``, drained by
+    #: the pass manager into ``opt.rejected`` events.
+    rejections: dict = field(default_factory=dict)
+
+    def reject(self, pass_name: str, reason: str) -> None:
+        """A pass matched a candidate but could not transform it."""
+        key = (pass_name, reason)
+        self.rejections[key] = self.rejections.get(key, 0) + 1
+        if self.registry is not None:
+            self.registry.counter(
+                f"fillunit.opts.{pass_name}.rejected.{reason}").add()
 
 
 class OptimizationPass(abc.ABC):
@@ -111,7 +126,7 @@ class PassManager:
 
     def __init__(self, config: OptimizationConfig,
                  num_clusters: int = 4, cluster_size: int = 4,
-                 bias=None) -> None:
+                 bias=None, registry=None, events=None) -> None:
         from repro.fillunit.opts.cse import CommonSubexpressionPass
         from repro.fillunit.opts.deadcode import DeadCodePass
         from repro.fillunit.opts.moves import RegisterMovePass
@@ -121,7 +136,9 @@ class PassManager:
         from repro.fillunit.opts.scaledadd import ScaledAddPass
 
         self.context = PassContext(num_clusters, cluster_size, config,
-                                   bias=bias)
+                                   bias=bias, registry=registry)
+        self.registry = registry
+        self.events = events
         self.passes: list = []
         if config.predication:
             self.passes.append(PredicationPass())
@@ -139,18 +156,45 @@ class PassManager:
             self.passes.append(PlacementPass())
         self.totals: dict = {}
 
-    def run(self, segment: TraceSegment) -> dict:
-        """Apply all passes to *segment*; accumulate and return stats."""
+    def run(self, segment: TraceSegment, cycle: int = 0) -> dict:
+        """Apply all passes to *segment*; accumulate and return stats.
+
+        When the manager was constructed with a telemetry registry /
+        event stream, per-pass counts are mirrored to
+        ``fillunit.opts.<pass>.<stat>`` scopes and ``opt.applied`` /
+        ``opt.rejected`` events are emitted (one per pass and stat,
+        tagged with the segment's start PC).
+        """
         from repro.fillunit.dependency import mark_dependencies
 
         stats: dict = {}
+        self.context.rejections.clear()
         for opt_pass in self.passes:
             # Placement consumes the dependence structure produced by
             # the rewriting passes, so (re)mark just before it.
             if opt_pass.name == "placement":
                 segment.deps = mark_dependencies(segment.instrs)
-            for key, count in opt_pass.apply(segment, self.context).items():
+            pass_stats = opt_pass.apply(segment, self.context)
+            for key, count in pass_stats.items():
                 stats[key] = stats.get(key, 0) + count
+            if self.registry is not None:
+                for key, count in pass_stats.items():
+                    if count:
+                        self.registry.counter(
+                            f"fillunit.opts.{opt_pass.name}.{key}"
+                        ).add(count)
+            if self.events is not None:
+                for key, count in pass_stats.items():
+                    if count:
+                        self.events.emit(
+                            "opt.applied", cycle,
+                            opt=opt_pass.name, stat=key, count=count,
+                            start_pc=segment.start_pc)
+        if self.events is not None:
+            for (name, reason), count in self.context.rejections.items():
+                self.events.emit("opt.rejected", cycle, opt=name,
+                                 reason=reason, count=count,
+                                 start_pc=segment.start_pc)
         if segment.deps is None:
             segment.deps = mark_dependencies(segment.instrs)
         for key, count in stats.items():

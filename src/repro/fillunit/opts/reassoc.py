@@ -46,8 +46,16 @@ class ReassociationPass(OptimizationPass):
                     base, acc, def_flow = entry
                     combined = acc + instr.imm
                     crosses = instr.flow_id != def_flow
-                    if (_IMM_MIN <= combined <= _IMM_MAX
-                            and (crosses or not cross_only)):
+                    if not _IMM_MIN <= combined <= _IMM_MAX:
+                        # The trace cache stores unmodified instruction
+                        # formats: a combined immediate past 16 bits
+                        # cannot be encoded.
+                        ctx.reject(self.name, "imm_overflow")
+                    elif cross_only and not crosses:
+                        # The compiler already reassociates inside a
+                        # basic block (paper methodology).
+                        ctx.reject(self.name, "same_flow")
+                    else:
                         instr.rs = base
                         instr.imm = combined
                         instr.reassociated = True

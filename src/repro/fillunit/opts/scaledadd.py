@@ -52,10 +52,14 @@ class ScaledAddPass(OptimizationPass):
             for key in [k for k, v in shift_prov.items() if v[0] == dest]:
                 shift_prov.pop(key)
             shift_prov.pop(dest, None)
-            if (instr.op is Op.SLL and not instr.move_flag
-                    and 1 <= (instr.imm or 0) <= max_shift
-                    and instr.rs != dest):
-                shift_prov[dest] = (instr.rs, instr.imm)
+            if instr.op is Op.SLL and not instr.move_flag:
+                if 1 <= (instr.imm or 0) <= max_shift \
+                        and instr.rs != dest:
+                    shift_prov[dest] = (instr.rs, instr.imm)
+                elif (instr.imm or 0) > max_shift:
+                    # Only 2 stored bits (plus the ALU path-length
+                    # argument): wider shifts cannot be absorbed.
+                    ctx.reject(self.name, "shift_too_large")
         return {"scaled_adds": created}
 
     @staticmethod

@@ -45,7 +45,7 @@ class FillUnit:
     """Collect retired blocks, optimize, install into the trace cache."""
 
     def __init__(self, config: FillUnitConfig, trace_cache: TraceCache,
-                 bias: BiasTable) -> None:
+                 bias: BiasTable, registry=None, events=None) -> None:
         self.config = config
         self.trace_cache = trace_cache
         self.bias = bias
@@ -54,8 +54,17 @@ class FillUnit:
             config.trace_packing)
         self.passes = PassManager(config.optimizations,
                                   config.num_clusters, config.cluster_size,
-                                  bias=bias)
+                                  bias=bias, registry=registry,
+                                  events=events)
         self.stats = FillUnitStats()
+        self.registry = registry
+        self.events = events
+        if registry is not None:
+            self._m_built = registry.counter("fillunit.segments.built")
+            self._m_deduped = registry.counter("fillunit.segments.deduped")
+            self._m_promoted = registry.counter(
+                "fillunit.branches.promoted")
+            self._h_length = registry.histogram("fillunit.segment.length")
 
     # ------------------------------------------------------------------
 
@@ -70,7 +79,8 @@ class FillUnit:
         upcoming segment boundary to it (miss-driven construction)."""
         self.collector.note_fetch_miss(pc)
 
-    def build_segment(self, candidate: PendingSegment) -> TraceSegment:
+    def build_segment(self, candidate: PendingSegment,
+                      cycle: int = 0) -> TraceSegment:
         """Construct and optimize a :class:`TraceSegment` from a
         candidate, without touching the trace cache (exposed for tests
         and the optimization-tour example)."""
@@ -87,7 +97,7 @@ class FillUnit:
             start_pc=candidate.start_pc, instrs=instrs, branches=branches,
             block_count=candidate.block_count,
             build_promo=tuple(b.promoted for b in candidate.branches))
-        self.passes.run(segment)
+        self.passes.run(segment, cycle)
         if segment.deps is None:
             segment.deps = mark_dependencies(segment.instrs)
         return segment
@@ -103,12 +113,34 @@ class FillUnit:
                 self.trace_cache.touch(candidate.start_pc,
                                        candidate.path_key)
                 self.stats.segments_deduped += 1
+                if self.registry is not None:
+                    self._m_deduped.add()
+                if self.events is not None:
+                    self.events.emit("segment.deduped", cycle,
+                                     start_pc=candidate.start_pc)
                 return
             # Same path but promotion state changed: rebuild so the
             # line's embedded static predictions track the bias table.
-        segment = self.build_segment(candidate)
+        segment = self.build_segment(candidate, cycle)
         self.trace_cache.insert(segment, cycle, self.config.latency)
         self.stats.segments_built += 1
+        promoted = sum(1 for b in segment.branches if b.promoted)
+        if self.registry is not None:
+            self._m_built.add()
+            self._h_length.observe(len(segment.instrs))
+            if promoted:
+                self._m_promoted.add(promoted)
+        if self.events is not None:
+            self.events.emit(
+                "segment.built", cycle, start_pc=segment.start_pc,
+                instrs=len(segment.instrs), blocks=segment.block_count,
+                branches=len(segment.branches), promoted=promoted)
+            for info in segment.branches:
+                if info.promoted:
+                    self.events.emit("branch.promoted", cycle,
+                                     pc=info.pc,
+                                     direction=info.direction,
+                                     start_pc=segment.start_pc)
 
     @property
     def pass_totals(self) -> dict:

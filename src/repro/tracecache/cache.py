@@ -71,6 +71,9 @@ class TraceCache:
         # insertion order == LRU order.
         self._sets = [dict() for _ in range(self.config.num_sets)]
         self.stats = TraceCacheStats()
+        #: optional telemetry event stream (set by the pipeline when a
+        #: Telemetry session is attached); evictions are reported here.
+        self.events = None
 
     def _set_for(self, pc: int) -> dict:
         return self._sets[(pc >> 2) & self._set_mask]
@@ -148,7 +151,12 @@ class TraceCache:
             # promotion state or annotations changed) with a fresh fill.
             entries.pop(key)
         elif len(entries) >= self.config.assoc:
-            entries.pop(next(iter(entries)))    # evict LRU
+            victim_key = next(iter(entries))
+            entries.pop(victim_key)             # evict LRU
+            if self.events is not None:
+                from repro.telemetry.events import TC_EVICT
+                self.events.emit(TC_EVICT, now, start_pc=victim_key[0],
+                                 for_pc=segment.start_pc)
         segment.fill_cycle = now + fill_latency
         entries[key] = segment
         self.stats.fills += 1

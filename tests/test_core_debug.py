@@ -64,7 +64,45 @@ def test_render():
     hook, _, _ = capture(limit=5)
     text = hook.render()
     assert "seq" in text and "addi" in text
-    assert len(text.splitlines()) == 6
+    # header + 5 records + the dropped-records summary line
+    assert len(text.splitlines()) == 7
+    assert f"({hook.dropped} records past the 5-record limit" in text
+
+
+def test_dropped_counts_overflow():
+    hook, result, _ = capture(limit=10)
+    assert hook.dropped == result.instructions - 10
+    # nothing dropped -> no summary line
+    full, _, _ = capture(limit=10_000)
+    assert full.dropped == 0
+    assert "dropped" not in full.render()
+
+
+def test_as_event_sink():
+    from repro.telemetry import Telemetry
+
+    _, trace = run_asm(LOOP)
+    telemetry = Telemetry()
+    sink = TimingTrace(limit=10_000)
+    telemetry.attach(sink)
+    model = PipelineModel(SimConfig.tiny(), telemetry=telemetry)
+    result = model.run(trace, "t", "r")
+    assert len(sink) == result.instructions
+    for r in sink.records:
+        assert r.fetch < r.rename <= r.complete < r.retire
+
+
+def test_sink_and_hook_agree():
+    from repro.telemetry import Telemetry
+
+    _, trace = run_asm(LOOP)
+    hook, _, _ = capture(limit=10_000)
+    telemetry = Telemetry()
+    sink = TimingTrace(limit=10_000)
+    telemetry.attach(sink)
+    model = PipelineModel(SimConfig.tiny(), telemetry=telemetry)
+    model.run(trace, "t", "r")
+    assert sink.records == hook.records
 
 
 def test_default_hook_is_none():

@@ -1,0 +1,128 @@
+"""Event stream tests: ring-buffer retention, sinks, JSONL round trip,
+and the pipeline's event emission."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.pipeline import PipelineModel
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    BRANCH_MISPREDICT,
+    EventStream,
+    JsonlSink,
+    MemorySink,
+    NULL_EVENT_STREAM,
+    RUN_FINISHED,
+    RUN_STARTED,
+    SEGMENT_BUILT,
+    read_jsonl,
+)
+from tests.helpers import run_asm
+
+LOOP = """
+main:
+    li   $t9, 50
+loop:
+    addi $t0, $t0, 1
+    sll  $t1, $t0, 2
+    add  $t2, $t1, $t0
+    blt  $t0, $t9, loop
+    halt
+"""
+
+
+def test_ring_buffer_retention_and_dropped():
+    stream = EventStream(capacity=4)
+    for i in range(10):
+        stream.emit("segment.built", i, start_pc=i)
+    assert stream.emitted == 10
+    assert len(stream) == 4
+    assert stream.dropped == 6
+    assert [e.cycle for e in stream.recent()] == [6, 7, 8, 9]
+    assert stream.recent("no.such.kind") == []
+
+
+def test_memory_sink_sees_everything_despite_ring():
+    stream = EventStream(capacity=2)
+    sink = MemorySink()
+    stream.attach(sink)
+    for i in range(5):
+        stream.emit("segment.built", i)
+    assert len(sink.events) == 5
+
+
+def test_memory_sink_kind_filter():
+    stream = EventStream()
+    sink = MemorySink(kinds=[SEGMENT_BUILT])
+    stream.attach(sink)
+    stream.emit(SEGMENT_BUILT, 1)
+    stream.emit(BRANCH_MISPREDICT, 2)
+    assert [e.kind for e in sink.events] == [SEGMENT_BUILT]
+    assert sink.by_kind(SEGMENT_BUILT) == sink.events
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    stream = EventStream()
+    sink = JsonlSink(str(path))
+    stream.attach(sink)
+    stream.emit(SEGMENT_BUILT, 7, start_pc=0x1000, instrs=12)
+    stream.emit(BRANCH_MISPREDICT, 9, pc=0x2000, taken=True)
+    sink.close()
+    assert sink.written == 2
+    events = read_jsonl(str(path))
+    assert [e.kind for e in events] == [SEGMENT_BUILT, BRANCH_MISPREDICT]
+    assert events[0].cycle == 7
+    assert events[0].data == {"start_pc": 0x1000, "instrs": 12}
+    assert events[1].data["taken"] is True
+
+
+def test_null_stream_rejects_sinks():
+    NULL_EVENT_STREAM.emit("anything", 0, ignored=1)   # silently no-op
+    assert len(NULL_EVENT_STREAM) == 0
+    with pytest.raises(RuntimeError):
+        NULL_EVENT_STREAM.attach(MemorySink())
+
+
+def test_disabled_session_uses_null_stream():
+    telemetry = Telemetry(enabled=False)
+    assert telemetry.events is NULL_EVENT_STREAM
+    with pytest.raises(RuntimeError):
+        telemetry.attach_memory()
+
+
+def test_pipeline_emits_lifecycle_and_component_events():
+    _, trace = run_asm(LOOP)
+    telemetry = Telemetry()
+    sink = telemetry.attach_memory()
+    result = PipelineModel(SimConfig.tiny(), telemetry=telemetry).run(
+        trace, "t", "r")
+    kinds = {e.kind for e in sink.events}
+    assert RUN_STARTED in kinds
+    assert RUN_FINISHED in kinds
+    assert SEGMENT_BUILT in kinds
+    assert BRANCH_MISPREDICT in kinds
+    finished = sink.by_kind(RUN_FINISHED)[0]
+    assert finished.data["cycles"] == result.cycles
+    assert sum(finished.data["attribution"].values()) == result.cycles
+    built = sink.by_kind(SEGMENT_BUILT)
+    assert len(built) == result.segments_built
+    mispredicted = sink.by_kind(BRANCH_MISPREDICT)
+    assert len(mispredicted) == (result.mispredicts
+                                 + result.indirect_mispredicts)
+
+
+def test_instr_timing_events_are_opt_in():
+    _, trace = run_asm(LOOP)
+    plain = Telemetry()
+    quiet = plain.attach_memory()
+    PipelineModel(SimConfig.tiny(), telemetry=plain).run(trace, "t", "r")
+    assert quiet.by_kind("instr.retired") == []
+
+    wanting = Telemetry()
+    sink = MemorySink()
+    sink.wants_instr_timing = True
+    wanting.attach(sink)
+    result = PipelineModel(SimConfig.tiny(), telemetry=wanting).run(
+        trace, "t", "r")
+    assert len(sink.by_kind("instr.retired")) == result.instructions

@@ -1,0 +1,56 @@
+"""Render cycle-attribution tables from archived telemetry JSONL.
+
+Usage:
+    python -m repro profile compress --opts all --telemetry-out a.jsonl
+    python tools/attribution_report.py a.jsonl [b.jsonl ...]
+
+Each ``run.finished`` event in the given file(s) is rendered as an
+attribution table; when exactly two runs are found in total, a
+side-by-side diff follows.
+"""
+
+import sys
+
+from repro.telemetry.attribution import diff_attribution, \
+    render_attribution
+from repro.telemetry.events import RUN_FINISHED, read_jsonl
+
+
+def load_runs(path) -> list:
+    """``(label, cycles, attribution)`` per finished run in *path*."""
+    runs = []
+    for event in read_jsonl(path):
+        if event.kind != RUN_FINISHED:
+            continue
+        data = event.data
+        label = f"{data.get('benchmark', '?')}/{data.get('label', '?')}"
+        runs.append((label, data.get("cycles", 0),
+                     data.get("attribution") or {}))
+    return runs
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    runs = []
+    for path in sys.argv[1:]:
+        found = load_runs(path)
+        if not found:
+            print(f"{path}: no run.finished events")
+        runs.extend(found)
+    for label, cycles, attribution in runs:
+        if not attribution:
+            print(f"{label}: no attribution recorded "
+                  "(run without a cycle-accounting session?)")
+            continue
+        print(render_attribution(attribution, cycles, title=label))
+        print()
+    if len(runs) == 2 and all(r[2] for r in runs):
+        (label_a, _, a), (label_b, _, b) = runs
+        print(diff_attribution(label_a, a, label_b, b))
+    return 0 if runs else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

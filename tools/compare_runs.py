@@ -1,9 +1,21 @@
-"""Compare two archived result files (regression tracking).
+"""Compare two archived run files (regression tracking).
+
+Two formats are understood, chosen by file extension:
+
+* ``.json`` — result archives written by ``tools/run_and_save.py``;
+  counters are diffed field by field.
+* ``.jsonl`` — telemetry event archives written with
+  ``--telemetry-out``; the runs' cycle attributions are diffed
+  side by side.
 
 Usage:
     python tools/run_and_save.py results_a.json   # on version A
     python tools/run_and_save.py results_b.json   # on version B
     python tools/compare_runs.py results_a.json results_b.json
+
+    python -m repro profile compress --telemetry-out a.jsonl
+    python -m repro profile compress --opts none --telemetry-out b.jsonl
+    python tools/compare_runs.py a.jsonl b.jsonl
 """
 
 import sys
@@ -11,14 +23,11 @@ import sys
 from repro.harness.export import diff_results, load_results
 
 
-def main() -> int:
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 2
+def compare_json(path_a: str, path_b: str) -> int:
     old_results = {(r.benchmark, r.config_label): r
-                   for r in load_results(sys.argv[1])}
+                   for r in load_results(path_a)}
     new_results = {(r.benchmark, r.config_label): r
-                   for r in load_results(sys.argv[2])}
+                   for r in load_results(path_b)}
     drifted = 0
     for key in sorted(old_results.keys() & new_results.keys()):
         text = diff_results(old_results[key], new_results[key])
@@ -30,6 +39,53 @@ def main() -> int:
     shared = len(old_results.keys() & new_results.keys())
     print(f"{drifted} drifted of {shared} shared experiments")
     return 1 if drifted else 0
+
+
+def compare_jsonl(path_a: str, path_b: str) -> int:
+    from repro.telemetry.attribution import diff_attribution
+    try:
+        from tools.attribution_report import load_runs
+    except ImportError:     # invoked as `python tools/compare_runs.py`
+        from attribution_report import load_runs
+
+    runs_a = {label: (cycles, attr)
+              for label, cycles, attr in load_runs(path_a)}
+    runs_b = {label: (cycles, attr)
+              for label, cycles, attr in load_runs(path_b)}
+    shared = sorted(runs_a.keys() & runs_b.keys())
+    if not shared:
+        # Different benchmarks/labels in the two archives: fall back to
+        # positional pairing so `profile X` vs `profile X --opts none`
+        # (distinct labels) still compares.
+        pairs = list(zip(sorted(runs_a), sorted(runs_b)))
+    else:
+        pairs = [(key, key) for key in shared]
+    drifted = 0
+    for key_a, key_b in pairs:
+        cycles_a, attr_a = runs_a[key_a]
+        cycles_b, attr_b = runs_b[key_b]
+        title = key_a if key_a == key_b else f"{key_a} vs {key_b}"
+        print(title)
+        print(diff_attribution(path_a, attr_a, path_b, attr_b))
+        if cycles_a != cycles_b:
+            drifted += 1
+        print()
+    for key in sorted(runs_a.keys() ^ runs_b.keys()):
+        if not shared:
+            break
+        print(f"only in one file: {key}")
+    print(f"{drifted} of {len(pairs)} compared runs changed cycle count")
+    return 1 if drifted else 0
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    path_a, path_b = sys.argv[1], sys.argv[2]
+    if path_a.endswith(".jsonl") or path_b.endswith(".jsonl"):
+        return compare_jsonl(path_a, path_b)
+    return compare_json(path_a, path_b)
 
 
 if __name__ == "__main__":
