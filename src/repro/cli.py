@@ -13,6 +13,9 @@ Commands:
 * ``tables`` — regenerate tables 1-2.
 * ``validate [BENCH ...]`` — score workload fingerprints against the
   paper's Table 2 targets.
+* ``verify-traces [BENCH ...]`` — replay benchmarks with online
+  segment verification (see ``docs/verification.md``); exits nonzero
+  on any invariant or equivalence violation.
 * ``asm FILE`` — assemble and run an assembly file (functionally, and
   optionally through the timing model).
 """
@@ -219,6 +222,67 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_verify_traces(args) -> int:
+    """Replay one or more benchmarks with online segment verification
+    and report per-pass/per-rule violation counts; exit nonzero when
+    any error-severity violation was found."""
+    from dataclasses import replace
+
+    from repro.telemetry import Telemetry
+    from repro.telemetry.events import VERIFY_VIOLATION
+
+    names = args.benchmarks or ["compress", "li"]
+    unknown = [n for n in names if n not in workloads.names()]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}")
+        return 2
+    total_errors = 0
+    for name in names:
+        program = workloads.build(name, args.scale)
+        config = replace(
+            SimConfig.paper(_opt_config(args.opts), args.fill_latency),
+            verify_fill=True,
+            verify_each_pass=not args.whole_pipeline)
+        telemetry = Telemetry(attribution=False)
+        sink = telemetry.attach_memory(kinds=(VERIFY_VIOLATION,))
+        result = Simulator(config, telemetry=telemetry).run(
+            program, name, args.opts)
+        checked = result.telemetry.get(
+            "fillunit.verify.segments_checked", 0)
+        clean = result.telemetry.get(
+            "fillunit.verify.segments_clean", 0)
+        counts: dict = {}
+        errors = 0
+        for event in sink.events:
+            key = (event.data["opt"], event.data["rule"],
+                   event.data["severity"])
+            counts[key] = counts.get(key, 0) + 1
+            if event.data["severity"] == "error":
+                errors += 1
+        status = "CLEAN" if errors == 0 else f"{errors} violations"
+        print(f"{name}: {checked} segments verified, {clean} clean "
+              f"({args.opts}, "
+              f"{'whole-pipeline' if args.whole_pipeline else 'per-pass'}"
+              f") -> {status}")
+        if counts:
+            print(f"  {'pass':12s} {'rule':20s} {'severity':8s} "
+                  f"{'count':>6s}")
+            for (opt, rule_id, severity), n in sorted(counts.items()):
+                print(f"  {opt:12s} {rule_id:20s} {severity:8s} {n:6d}")
+            samples = 0
+            for event in sink.events:
+                if event.data["severity"] != "error":
+                    continue
+                print(f"    e.g. pc={event.data['start_pc']:#x} "
+                      f"[{event.data['opt']}] {event.data['rule']}: "
+                      f"{event.data['message']}")
+                samples += 1
+                if samples >= args.show:
+                    break
+        total_errors += errors
+    return 1 if total_errors else 0
+
+
 def cmd_asm(args) -> int:
     from repro.asm import assemble
     from repro.machine.executor import Executor
@@ -286,6 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("benchmarks", nargs="*", metavar="BENCH")
     p_val.add_argument("--scale", type=float, default=0.3)
     p_val.set_defaults(func=cmd_validate)
+
+    p_ver = sub.add_parser(
+        "verify-traces",
+        help="replay benchmarks with online segment verification")
+    p_ver.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       help="benchmarks to verify (default: compress li)")
+    _add_common(p_ver)
+    p_ver.add_argument("--whole-pipeline", action="store_true",
+                       help="verify the composed pipeline instead of "
+                            "each pass in isolation")
+    p_ver.add_argument("--show", type=int, default=5,
+                       help="sample violation messages to print "
+                            "(default 5)")
+    p_ver.set_defaults(func=cmd_verify_traces)
 
     p_asm = sub.add_parser("asm", help="assemble and run a .s file")
     p_asm.add_argument("file")

@@ -62,6 +62,13 @@ class SimConfig:
     fill_latency: int = 5
     optimizations: OptimizationConfig = field(
         default_factory=OptimizationConfig)
+    #: statically verify every optimized segment against its
+    #: pre-optimization snapshot (see :mod:`repro.verify`); violations
+    #: surface as telemetry counters and ``verify.violation`` events.
+    verify_fill: bool = False
+    #: with :attr:`verify_fill`, check each optimization pass in
+    #: isolation so a violation names the offending pass.
+    verify_each_pass: bool = False
 
     def __post_init__(self) -> None:
         if self.num_clusters * self.cluster_size > self.fetch_width:
@@ -75,6 +82,9 @@ class SimConfig:
             raise ConfigError("fill latency is at least one cycle")
         if self.max_checkpoints < 1:
             raise ConfigError("need at least one checkpoint")
+        if self.verify_each_pass and not self.verify_fill:
+            raise ConfigError(
+                "verify_each_pass requires verify_fill")
 
     # ------------------------------------------------------------------
 

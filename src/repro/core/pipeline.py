@@ -144,6 +144,8 @@ class PipelineModel:
                 num_clusters=config.num_clusters,
                 cluster_size=config.cluster_size,
                 optimizations=config.optimizations,
+                verify=config.verify_fill,
+                verify_each=config.verify_each_pass,
             )
             self.fill_unit = FillUnit(fill_config, self.trace_cache,
                                       self.predictor.bias,

@@ -2,21 +2,35 @@
 
 Each of the paper's four trace optimizations is a pass over a
 :class:`~repro.tracecache.segment.TraceSegment`; the
-:class:`PassManager` applies the enabled subset in the paper's order
-(moves, reassociation, scaled adds, then placement — placement last
-because it consumes the final dependence structure).
+:class:`PassManager` applies the enabled subset in a fixed order: the
+extension passes first (predication, CSE, dead code — they create and
+consume the move idioms the published passes then exploit), then the
+paper's order (moves, reassociation, scaled adds, then placement).
+Placement always runs last, whatever subset is enabled, because it
+consumes the final dependence structure; the constructor enforces
+this.
 
 Passes run inside the fill pipeline, off the critical path; their
 *cost* is modelled as the fill-unit latency knob, not per-pass cycles
 (the paper varies 1/5/10 cycles for the whole structure and finds the
 impact negligible).
+
+For verification, every pass declares its *mutation surface* — the
+per-instruction fields and segment structures it is allowed to change.
+With :attr:`PassManager.verify_each`, the manager snapshots the
+segment around each pass and hands (snapshot, segment, pass, surface)
+to a segment verifier, so a violation names the offending pass rather
+than the whole pipeline; arbitrary pre/post hooks get the same
+snapshots.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Optional
 
+from repro.errors import ConfigError
 from repro.tracecache.segment import TraceSegment
 
 
@@ -116,6 +130,14 @@ class OptimizationPass(abc.ABC):
 
     name: str = "pass"
 
+    #: The pass's declared mutation surface: per-instruction field
+    #: names (``op``, ``rs``, ``imm``, ``scale``, ``guard``, ...) plus
+    #: the tokens ``squash`` (may replace instructions with NOPs),
+    #: ``slots`` and ``branches``. ``None`` disables surface checking
+    #: for the pass. The segment verifier's ``pass-surface`` rule
+    #: flags any mutation outside this set.
+    surface: Optional[frozenset] = None
+
     @abc.abstractmethod
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         """Transform *segment* in place; return ``{stat: count}``."""
@@ -126,7 +148,8 @@ class PassManager:
 
     def __init__(self, config: OptimizationConfig,
                  num_clusters: int = 4, cluster_size: int = 4,
-                 bias=None, registry=None, events=None) -> None:
+                 bias=None, registry=None, events=None,
+                 verifier=None, verify_each: bool = False) -> None:
         from repro.fillunit.opts.cse import CommonSubexpressionPass
         from repro.fillunit.opts.deadcode import DeadCodePass
         from repro.fillunit.opts.moves import RegisterMovePass
@@ -154,7 +177,27 @@ class PassManager:
             self.passes.append(ScaledAddPass())
         if config.placement:
             self.passes.append(PlacementPass())
+        # Placement consumes the final dependence structure, so it must
+        # run after every rewriting pass — including the extensions,
+        # whose docstring drift once suggested otherwise.
+        names = [opt_pass.name for opt_pass in self.passes]
+        if "placement" in names and names[-1] != "placement":
+            raise ConfigError(
+                f"placement must be the final pass, got order {names}")
         self.totals: dict = {}
+        #: optional :class:`repro.verify.SegmentVerifier`; with
+        #: *verify_each*, every pass is checked in isolation against a
+        #: pre-pass snapshot so violations name the offending pass.
+        self.verifier = verifier
+        self.verify_each = bool(verify_each and verifier is not None)
+        #: hooks ``f(pass_name, segment)`` run before each pass.
+        self.pre_pass_hooks: list = []
+        #: hooks ``f(pass_name, snapshot, segment, stats)`` run after
+        #: each pass; *snapshot* is the pre-pass copy (``None`` unless
+        #: verify_each or a post hook is registered).
+        self.post_pass_hooks: list = []
+        #: violations found by per-pass verification in the last run().
+        self.last_violations: list = []
 
     def run(self, segment: TraceSegment, cycle: int = 0) -> dict:
         """Apply all passes to *segment*; accumulate and return stats.
@@ -169,12 +212,23 @@ class PassManager:
 
         stats: dict = {}
         self.context.rejections.clear()
+        self.last_violations = []
+        need_snapshot = self.verify_each or bool(self.post_pass_hooks)
         for opt_pass in self.passes:
             # Placement consumes the dependence structure produced by
             # the rewriting passes, so (re)mark just before it.
             if opt_pass.name == "placement":
                 segment.deps = mark_dependencies(segment.instrs)
+            snapshot = segment.clone() if need_snapshot else None
+            for hook in self.pre_pass_hooks:
+                hook(opt_pass.name, segment)
             pass_stats = opt_pass.apply(segment, self.context)
+            for hook in self.post_pass_hooks:
+                hook(opt_pass.name, snapshot, segment, pass_stats)
+            if self.verify_each:
+                self.last_violations += self.verifier.check(
+                    snapshot, segment, pass_name=opt_pass.name,
+                    surface=opt_pass.surface, record=False)
             for key, count in pass_stats.items():
                 stats[key] = stats.get(key, 0) + count
             if self.registry is not None:

@@ -39,6 +39,7 @@ class CommonSubexpressionPass(OptimizationPass):
     """Replace repeated computations with moves from the first result."""
 
     name = "cse"
+    surface = frozenset({"op", "rs", "rt", "imm", "reassociated"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         # Value numbering: each register maps to a version; an
@@ -59,8 +60,14 @@ class CommonSubexpressionPass(OptimizationPass):
         for instr in segment.instrs:
             dest = instr.dest()
             key = None
+            # Guarded (predicated) instructions write conditionally:
+            # their result is not a reusable expression value, and
+            # rewriting one into a move would make the copy
+            # unconditional. Skip them entirely; the dest-version bump
+            # below still conservatively kills prior availability.
             if (instr.op in _CSE_OPS and dest is not None
-                    and not instr.move_flag and instr.scale is None):
+                    and not instr.move_flag and instr.scale is None
+                    and instr.guard is None):
                 sources = tuple(sorted(
                     (reg, reg_version(reg)) for reg in instr.sources())) \
                     if instr.op in (Op.ADD, Op.AND, Op.OR, Op.XOR,

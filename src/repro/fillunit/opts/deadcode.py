@@ -35,6 +35,7 @@ class DeadCodePass(OptimizationPass):
     """Squash provably dead computations inside one segment."""
 
     name = "dead_code"
+    surface = frozenset({"squash"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         instrs = segment.instrs

@@ -68,6 +68,8 @@ class RegisterMovePass(OptimizationPass):
     """Mark register moves; rewrite their trace-internal dependents."""
 
     name = "moves"
+    surface = frozenset({"move_flag", "move_bypassed",
+                         "rd", "rs", "rt"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         alias: dict = {}
@@ -78,7 +80,10 @@ class RegisterMovePass(OptimizationPass):
             # (a move of a move chains to the ultimate source).
             rewritten_operands += _rewrite_sources(instr, alias)
             src = move_source(instr)
-            if src is not None:
+            # A guarded instruction only conditionally updates its
+            # destination; rename cannot complete it as an
+            # unconditional mapping copy, so it is never a move.
+            if src is not None and instr.guard is None:
                 instr.move_flag = True
                 marked += 1
             dest = instr.dest()

@@ -27,6 +27,7 @@ class PlacementPass(OptimizationPass):
     """Assign issue slots to minimize cross-cluster operand bypass."""
 
     name = "placement"
+    surface = frozenset({"slots"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         deps = segment.deps

@@ -47,6 +47,7 @@ class PredicationPass(OptimizationPass):
     """If-convert single-instruction hammocks on hard branches."""
 
     name = "predication"
+    surface = frozenset({"squash", "guard", "branches"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         converted = 0

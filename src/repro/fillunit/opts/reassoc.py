@@ -34,6 +34,7 @@ class ReassociationPass(OptimizationPass):
     """Combine immediates of dependent cross-block ADDI pairs."""
 
     name = "reassoc"
+    surface = frozenset({"rs", "imm", "reassociated"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         cross_only = ctx.config.reassoc_cross_flow_only
@@ -69,9 +70,10 @@ class ReassociationPass(OptimizationPass):
             prov.pop(dest, None)
             # ... then the ADDI itself establishes new provenance,
             # unless it consumed its own base (the old value is then
-            # unreachable).
+            # unreachable) or it is guarded (a predicated add only
+            # conditionally equals base + imm).
             if (instr.op is Op.ADDI and not instr.move_flag
-                    and instr.rs != dest):
+                    and instr.guard is None and instr.rs != dest):
                 prov[dest] = (instr.rs, instr.imm, instr.flow_id)
         return {"reassociated": rewritten}
 

@@ -35,6 +35,7 @@ class ScaledAddPass(OptimizationPass):
     """Collapse shift+add dependence pairs into scaled adds."""
 
     name = "scaled_adds"
+    surface = frozenset({"scale", "rs", "rt"})
 
     def apply(self, segment: TraceSegment, ctx: PassContext) -> dict:
         max_shift = ctx.config.max_scale_shift
@@ -52,7 +53,10 @@ class ScaledAddPass(OptimizationPass):
             for key in [k for k, v in shift_prov.items() if v[0] == dest]:
                 shift_prov.pop(key)
             shift_prov.pop(dest, None)
-            if instr.op is Op.SLL and not instr.move_flag:
+            # A guarded shift only conditionally holds its result, so
+            # it cannot seed provenance.
+            if instr.op is Op.SLL and not instr.move_flag \
+                    and instr.guard is None:
                 if 1 <= (instr.imm or 0) <= max_shift \
                         and instr.rs != dest:
                     shift_prov[dest] = (instr.rs, instr.imm)

@@ -32,6 +32,12 @@ class FillUnitConfig:
     cluster_size: int = 4
     optimizations: OptimizationConfig = field(
         default_factory=OptimizationConfig)
+    #: online verification: statically validate every optimized segment
+    #: against its pre-optimization snapshot (see :mod:`repro.verify`).
+    verify: bool = False
+    #: with :attr:`verify`, additionally snapshot around each pass so a
+    #: violation names the offending pass instead of the pipeline.
+    verify_each: bool = False
 
 
 @dataclass
@@ -52,10 +58,15 @@ class FillUnit:
         self.collector = FillCollector(
             bias, config.max_instrs, config.max_cond_branches,
             config.trace_packing)
+        self.verifier = None
+        if config.verify:
+            from repro.verify import SegmentVerifier
+            self.verifier = SegmentVerifier(config.optimizations)
         self.passes = PassManager(config.optimizations,
                                   config.num_clusters, config.cluster_size,
                                   bias=bias, registry=registry,
-                                  events=events)
+                                  events=events, verifier=self.verifier,
+                                  verify_each=config.verify_each)
         self.stats = FillUnitStats()
         self.registry = registry
         self.events = events
@@ -65,6 +76,11 @@ class FillUnit:
             self._m_promoted = registry.counter(
                 "fillunit.branches.promoted")
             self._h_length = registry.histogram("fillunit.segment.length")
+            if self.verifier is not None:
+                self._m_checked = registry.counter(
+                    "fillunit.verify.segments_checked")
+                self._m_clean = registry.counter(
+                    "fillunit.verify.segments_clean")
 
     # ------------------------------------------------------------------
 
@@ -79,11 +95,10 @@ class FillUnit:
         upcoming segment boundary to it (miss-driven construction)."""
         self.collector.note_fetch_miss(pc)
 
-    def build_segment(self, candidate: PendingSegment,
-                      cycle: int = 0) -> TraceSegment:
-        """Construct and optimize a :class:`TraceSegment` from a
-        candidate, without touching the trace cache (exposed for tests
-        and the optimization-tour example)."""
+    def assemble_segment(self, candidate: PendingSegment) -> TraceSegment:
+        """Assemble the *unoptimized* :class:`TraceSegment` a candidate
+        describes (the fill unit's input; also what the verifier and
+        ``tools/lint_segments.py`` treat as the original)."""
         instrs = []
         for idx, record in enumerate(candidate.records):
             instr = record.instr.copy()
@@ -93,14 +108,58 @@ class FillUnit:
             instrs.append(instr)
         branches = [BranchInfo(b.index, b.pc, b.direction, b.promoted)
                     for b in candidate.branches]
-        segment = TraceSegment(
+        return TraceSegment(
             start_pc=candidate.start_pc, instrs=instrs, branches=branches,
             block_count=candidate.block_count,
             build_promo=tuple(b.promoted for b in candidate.branches))
+
+    def build_segment(self, candidate: PendingSegment,
+                      cycle: int = 0) -> TraceSegment:
+        """Construct and optimize a :class:`TraceSegment` from a
+        candidate, without touching the trace cache (exposed for tests
+        and the optimization-tour example)."""
+        segment = self.assemble_segment(candidate)
+        original = (segment.clone() if self.verifier is not None
+                    else None)
         self.passes.run(segment, cycle)
         if segment.deps is None:
             segment.deps = mark_dependencies(segment.instrs)
+        if self.verifier is not None:
+            self._verify(original, segment, cycle)
         return segment
+
+    def _verify(self, original: TraceSegment, optimized: TraceSegment,
+                cycle: int) -> None:
+        """Validate one rewrite; mirror outcomes to telemetry.
+
+        With per-pass verification the pass manager already checked
+        every (snapshot, pass) transition — and equivalence is
+        transitive, so those checks subsume the whole-pipeline one
+        while naming the offending pass. Otherwise validate the whole
+        pipeline's composition in one step.
+        """
+        if self.passes.verify_each:
+            violations = list(self.passes.last_violations)
+        else:
+            violations = self.verifier.check(original, optimized,
+                                             record=False)
+        self.verifier.report.record(violations)
+        if self.registry is not None:
+            self._m_checked.add()
+            if not any(v.severity == "error" for v in violations):
+                self._m_clean.add()
+            for violation in violations:
+                scope_rule = violation.rule.replace("-", "_")
+                self.registry.counter(
+                    f"fillunit.verify.violations.{scope_rule}").add()
+        if self.events is not None:
+            for violation in violations:
+                self.events.emit(
+                    "verify.violation", cycle,
+                    start_pc=optimized.start_pc,
+                    opt=violation.pass_name or "(pipeline)",
+                    rule=violation.rule, severity=violation.severity,
+                    index=violation.index, message=violation.message)
 
     def _build(self, candidate: PendingSegment, cycle: int) -> None:
         resident = self.trace_cache.probe(candidate.start_pc,

@@ -36,11 +36,13 @@ FETCH_MISFETCH = "fetch.misfetch"
 CHECKPOINT_REPAIR = "rename.checkpoint_repair"
 TC_EVICT = "tc.evict"
 INSTR_RETIRED = "instr.retired"
+VERIFY_VIOLATION = "verify.violation"
 
 EVENT_KINDS = (
     RUN_STARTED, RUN_FINISHED, SEGMENT_BUILT, SEGMENT_DEDUPED,
     OPT_APPLIED, OPT_REJECTED, BRANCH_PROMOTED, BRANCH_MISPREDICT,
     FETCH_MISFETCH, CHECKPOINT_REPAIR, TC_EVICT, INSTR_RETIRED,
+    VERIFY_VIOLATION,
 )
 
 
@@ -222,4 +224,5 @@ __all__ = ["Event", "EventStream", "MemorySink", "CallbackSink",
            "RUN_STARTED", "RUN_FINISHED", "SEGMENT_BUILT",
            "SEGMENT_DEDUPED", "OPT_APPLIED", "OPT_REJECTED",
            "BRANCH_PROMOTED", "BRANCH_MISPREDICT", "FETCH_MISFETCH",
-           "CHECKPOINT_REPAIR", "TC_EVICT", "INSTR_RETIRED"]
+           "CHECKPOINT_REPAIR", "TC_EVICT", "INSTR_RETIRED",
+           "VERIFY_VIOLATION"]

@@ -60,6 +60,22 @@ class TraceSegment:
     def __len__(self) -> int:
         return len(self.instrs)
 
+    def clone(self) -> "TraceSegment":
+        """An independent deep copy (instruction copies, fresh branch
+        records and slot list). Used by the segment verifier to
+        snapshot pre-optimization state; annotations objects are
+        frozen, so sharing them is safe."""
+        return TraceSegment(
+            start_pc=self.start_pc,
+            instrs=[instr.copy() for instr in self.instrs],
+            branches=[BranchInfo(b.index, b.pc, b.direction, b.promoted)
+                      for b in self.branches],
+            slots=list(self.slots),
+            block_count=self.block_count,
+            fill_cycle=self.fill_cycle,
+            deps=None,
+            build_promo=self.build_promo)
+
     @property
     def path_key(self) -> tuple:
         """Identity of the embedded path: the PC sequence."""

@@ -1,0 +1,129 @@
+"""JSON serialization of trace segments for offline verification.
+
+``tools/lint_segments.py`` captures (original, optimized) segment
+pairs from a workload replay into a JSONL archive, and lints archives
+without re-running the simulator. One JSON object per line::
+
+    {"benchmark": "compress", "opts": "all",
+     "original": {...segment...}, "optimized": {...segment...}}
+
+The segment encoding is lossless for everything the verifier reads:
+instructions with their fill-unit annotations, branch records, the
+slot assignment and segment metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.isa.instruction import (
+    GuardAnnotation,
+    Instruction,
+    ScaleAnnotation,
+)
+from repro.isa.opcodes import op_by_mnemonic
+from repro.tracecache.segment import BranchInfo, TraceSegment
+
+
+def instr_to_dict(instr: Instruction) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {"op": instr.op.value}
+    for name in ("rd", "rs", "rt", "imm", "pc"):
+        value = getattr(instr, name)
+        if value is not None:
+            payload[name] = value
+    for name in ("move_flag", "move_bypassed", "reassociated"):
+        if getattr(instr, name):
+            payload[name] = True
+    for name in ("block_id", "flow_id", "orig_index"):
+        value = getattr(instr, name)
+        if value:
+            payload[name] = value
+    if instr.scale is not None:
+        payload["scale"] = {"src": instr.scale.src,
+                            "shamt": instr.scale.shamt}
+    if instr.guard is not None:
+        payload["guard"] = {
+            "reg": instr.guard.reg,
+            "execute_if_zero": instr.guard.execute_if_zero}
+    return payload
+
+
+def instr_from_dict(payload: Dict[str, Any]) -> Instruction:
+    instr = Instruction(
+        op=op_by_mnemonic(payload["op"]),
+        rd=payload.get("rd"), rs=payload.get("rs"),
+        rt=payload.get("rt"), imm=payload.get("imm"),
+        pc=payload.get("pc"))
+    instr.move_flag = bool(payload.get("move_flag", False))
+    instr.move_bypassed = bool(payload.get("move_bypassed", False))
+    instr.reassociated = bool(payload.get("reassociated", False))
+    instr.block_id = int(payload.get("block_id", 0))
+    instr.flow_id = int(payload.get("flow_id", 0))
+    instr.orig_index = int(payload.get("orig_index", 0))
+    scale = payload.get("scale")
+    if scale is not None:
+        instr.scale = ScaleAnnotation(src=scale["src"],
+                                      shamt=scale["shamt"])
+    guard = payload.get("guard")
+    if guard is not None:
+        instr.guard = GuardAnnotation(
+            reg=guard["reg"],
+            execute_if_zero=guard["execute_if_zero"])
+    return instr
+
+
+def segment_to_dict(segment: TraceSegment) -> Dict[str, Any]:
+    return {
+        "start_pc": segment.start_pc,
+        "block_count": segment.block_count,
+        "slots": list(segment.slots),
+        "build_promo": list(segment.build_promo),
+        "instrs": [instr_to_dict(i) for i in segment.instrs],
+        "branches": [{"index": b.index, "pc": b.pc,
+                      "direction": b.direction,
+                      "promoted": b.promoted}
+                     for b in segment.branches],
+    }
+
+
+def segment_from_dict(payload: Dict[str, Any]) -> TraceSegment:
+    return TraceSegment(
+        start_pc=payload["start_pc"],
+        instrs=[instr_from_dict(p) for p in payload["instrs"]],
+        branches=[BranchInfo(b["index"], b["pc"], b["direction"],
+                             b["promoted"])
+                  for b in payload["branches"]],
+        slots=list(payload["slots"]),
+        block_count=payload.get("block_count", 1),
+        build_promo=tuple(payload.get("build_promo", ())))
+
+
+def write_pair(handle: IO[str], original: TraceSegment,
+               optimized: TraceSegment,
+               meta: Optional[Dict[str, Any]] = None) -> None:
+    """Append one (original, optimized) pair to a JSONL archive."""
+    payload: Dict[str, Any] = dict(meta or {})
+    payload["original"] = segment_to_dict(original)
+    payload["optimized"] = segment_to_dict(optimized)
+    json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+    handle.write("\n")
+
+
+def read_pairs(path: str) -> Iterator[
+        Tuple[TraceSegment, TraceSegment, Dict[str, Any]]]:
+    """Yield (original, optimized, meta) triples from an archive."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            original = segment_from_dict(payload.pop("original"))
+            optimized = segment_from_dict(payload.pop("optimized"))
+            yield original, optimized, payload
+
+
+__all__: List[str] = ["instr_to_dict", "instr_from_dict",
+                      "segment_to_dict", "segment_from_dict",
+                      "write_pair", "read_pairs"]

@@ -1,0 +1,87 @@
+"""CLI and offline-tool coverage for the segment verifier."""
+
+import sys
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_verify_traces_default_benchmarks(capsys):
+    code, out = run_cli(capsys, "verify-traces", "--scale", "0.05")
+    assert code == 0
+    assert "compress" in out and "li" in out
+    assert "CLEAN" in out
+    assert "per-pass" in out
+
+
+def test_verify_traces_whole_pipeline(capsys):
+    code, out = run_cli(capsys, "verify-traces", "compress",
+                        "--scale", "0.05", "--whole-pipeline")
+    assert code == 0
+    assert "whole-pipeline" in out
+
+
+def test_verify_traces_extended_opts(capsys):
+    code, out = run_cli(capsys, "verify-traces", "li",
+                        "--scale", "0.05", "--opts", "extended")
+    assert code == 0
+    assert "CLEAN" in out
+
+
+def test_verify_traces_unknown_benchmark(capsys):
+    code, out = run_cli(capsys, "verify-traces", "nonesuch")
+    assert code == 2
+    assert "unknown benchmark" in out
+
+
+def test_lint_segments_capture_then_lint(tmp_path, capsys, monkeypatch):
+    sys.path.insert(0, "tools")
+    try:
+        import lint_segments
+    finally:
+        sys.path.pop(0)
+    archive = tmp_path / "pairs.jsonl"
+    code = lint_segments.main(["capture", "compress", str(archive),
+                               "--scale", "0.05", "--limit", "50"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "captured" in out and archive.exists()
+
+    code = lint_segments.main(["lint", str(archive)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "violations: 0" in out
+
+
+def test_lint_segments_catches_tampered_archive(tmp_path, capsys):
+    """Corrupting an archived optimized segment flips the exit code."""
+    import json
+
+    sys.path.insert(0, "tools")
+    try:
+        import lint_segments
+    finally:
+        sys.path.pop(0)
+    archive = tmp_path / "pairs.jsonl"
+    lint_segments.main(["capture", "compress", str(archive),
+                        "--scale", "0.05", "--limit", "20"])
+    capsys.readouterr()
+
+    tampered = tmp_path / "tampered.jsonl"
+    with open(archive) as src, open(tampered, "w") as dst:
+        for line in src:
+            payload = json.loads(line)
+            for instr in payload["optimized"]["instrs"]:
+                if instr["op"] == "addi" and instr.get("imm"):
+                    instr["imm"] += 4
+                    break
+            dst.write(json.dumps(payload) + "\n")
+    code = lint_segments.main(["lint", str(tampered)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "equiv-registers" in out
