@@ -1,0 +1,73 @@
+"""Execution-service cache benchmark.
+
+Runs the figure 3 + figure 8 job grid twice through the execution
+service against one cache directory: a cold pass (empty cache, every
+job simulated — through the worker pool when ``REPRO_BENCH_JOBS`` > 1)
+and a warm pass (a fresh service on the same directory, every job
+replayed from disk). Asserts the warm pass returns bit-identical
+results at least twice as fast — the contract that makes repeated
+figure regeneration cheap.
+
+Run with ``pytest benchmarks/bench_exec_cache.py -s``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.exec import ExecutionService, expand, opt_variant
+from repro.fillunit.opts.base import OptimizationConfig
+
+SCALE = 0.25
+BENCHMARKS = ("compress", "li")
+
+
+def _fig3_fig8_grid():
+    """The jobs behind figures 3 and 8: baseline and the combined set
+    at each fill latency, plus the moves-only machine."""
+    variants = []
+    for latency in (1, 5, 10):
+        label, config = opt_variant(OptimizationConfig.none(), latency)
+        variants.append((f"{label}@{latency}", config))
+        label, config = opt_variant(OptimizationConfig.all(), latency)
+        variants.append((f"{label}@{latency}", config))
+    variants.append(opt_variant(OptimizationConfig.only("moves")))
+    return expand(BENCHMARKS, variants)
+
+
+@pytest.mark.figure
+def test_exec_cache_speedup(tmp_path, emit):
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "2"))
+    cache_dir = tmp_path / "results"
+    grid = _fig3_fig8_grid()
+
+    cold_service = ExecutionService(scale=SCALE, jobs=jobs,
+                                    cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    cold = cold_service.run_many(grid)
+    t_cold = time.perf_counter() - t0
+    assert cold_service.stats["simulated"] == len(grid)
+
+    warm_service = ExecutionService(scale=SCALE, jobs=jobs,
+                                    cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    warm = warm_service.run_many(grid)
+    t_warm = time.perf_counter() - t0
+
+    emit(f"exec cache: {len(grid)} jobs, pool={jobs}\n"
+         f"cold {t_cold:.2f}s (all simulated) -> "
+         f"warm {t_warm:.2f}s (all replayed); "
+         f"speedup {t_cold / t_warm:.1f}x")
+
+    # Every warm job came off disk, none simulated.
+    assert warm_service.stats["simulated"] == 0
+    assert warm_service.stats["disk"] == len(grid)
+    # Replay is bit-identical: cycles and the full counter snapshot.
+    for a, b in zip(cold, warm):
+        assert a.cycles == b.cycles
+        assert a.telemetry == b.telemetry
+        assert a.config_label == b.config_label
+    # The cached pass must be at least 2x faster than simulating.
+    assert t_cold >= 2.0 * t_warm, (
+        f"warm cache pass only {t_cold / t_warm:.1f}x faster")

@@ -4,8 +4,14 @@ One :class:`ExperimentRunner` is shared across the whole benchmark
 session so the committed traces and per-configuration results are
 computed once and reused by every figure.
 
-Scale: ``REPRO_BENCH_SCALE`` (default 0.6) multiplies workload lengths;
-1.0 reproduces the numbers quoted in EXPERIMENTS.md.
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` (default 0.6) multiplies workload lengths;
+  1.0 reproduces the numbers quoted in EXPERIMENTS.md.
+* ``REPRO_BENCH_JOBS`` (default 1) sizes the execution service's
+  worker pool; the paper grid is prefetched through it up front.
+* ``REPRO_BENCH_CACHE`` (unset by default) points the service at a
+  content-addressed on-disk result cache shared between sessions.
 """
 
 import os
@@ -23,7 +29,14 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def runner():
     scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
-    return ExperimentRunner(scale=scale)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    runner = ExperimentRunner(scale=scale, jobs=jobs,
+                              cache_dir=cache_dir)
+    if jobs > 1 or cache_dir:
+        from repro.exec.grid import paper_grid
+        runner.prefetch(paper_grid(runner.benchmarks))
+    return runner
 
 
 @pytest.fixture(scope="session")

@@ -53,6 +53,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fill pipeline latency in cycles (default 5)")
 
 
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation grid "
+                             "(default 1: in-process)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache; warm "
+                             "entries replay without simulating")
+
+
 def _add_telemetry_out(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", metavar="FILE.jsonl",
                         help="append structured telemetry events to "
@@ -177,9 +186,22 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _grid_runner(args):
+    """An ExperimentRunner on the execution service, with the paper
+    grid prefetched (through the pool with ``--jobs N``, replayed from
+    ``--cache-dir`` when warm)."""
+    from repro.exec.grid import paper_grid
+    from repro.harness import ExperimentRunner
+    runner = ExperimentRunner(scale=args.scale, jobs=args.jobs,
+                              cache_dir=args.cache_dir)
+    if args.jobs > 1 or args.cache_dir:
+        runner.prefetch(paper_grid(runner.benchmarks))
+    return runner
+
+
 def cmd_figures(args) -> int:
-    from repro.harness import ExperimentRunner, figures
-    runner = ExperimentRunner(scale=args.scale)
+    from repro.harness import figures
+    runner = _grid_runner(args)
     if args.svg:
         from repro.harness.svgchart import write_all_figures
         for path in write_all_figures(runner, args.svg):
@@ -196,8 +218,8 @@ def cmd_figures(args) -> int:
 
 
 def cmd_tables(args) -> int:
-    from repro.harness import ExperimentRunner, tables
-    runner = ExperimentRunner(scale=args.scale)
+    from repro.harness import tables
+    runner = _grid_runner(args)
     print(tables.table1(runner).render())
     print()
     print(tables.table2(runner).render())
@@ -339,10 +361,12 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["3", "4", "5", "6", "7", "8"])
     p_fig.add_argument("--svg", metavar="DIR",
                        help="write figures as SVG files into DIR")
+    _add_exec(p_fig)
     p_fig.set_defaults(func=cmd_figures)
 
     p_tab = sub.add_parser("tables", help="regenerate tables 1-2")
     p_tab.add_argument("--scale", type=float, default=0.5)
+    _add_exec(p_tab)
     p_tab.set_defaults(func=cmd_tables)
 
     p_val = sub.add_parser("validate",

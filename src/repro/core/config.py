@@ -9,13 +9,21 @@ pipeline latency).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 
 from repro.branch.predictor import PredictorConfig
 from repro.cache.hierarchy import HierarchyConfig
 from repro.errors import ConfigError
 from repro.fillunit.opts.base import OptimizationConfig
 from repro.tracecache.cache import TraceCacheConfig
+
+#: nested config dataclass per SimConfig field (serialization schema).
+_NESTED_TYPES = {
+    "predictor": PredictorConfig,
+    "hierarchy": HierarchyConfig,
+    "trace_cache": TraceCacheConfig,
+    "optimizations": OptimizationConfig,
+}
 
 
 @dataclass
@@ -119,6 +127,49 @@ class SimConfig:
             window_size=64,
             fill_latency=3,
         )
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON-declared sweeps, config fingerprinting)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-safe dict capturing every field, nested configs
+        included. ``from_dict`` round-trips it exactly; the exec
+        layer's config fingerprint is a stable hash of this form."""
+        payload = asdict(self)
+        # JSON has no tuples; normalize so to_dict(from_dict(json)) is
+        # stable regardless of whether the data crossed a JSON hop.
+        payload["predictor"]["pht_entries"] = list(
+            self.predictor.pht_entries)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Rebuild a :class:`SimConfig` from :meth:`to_dict` output.
+
+        Raises:
+            ConfigError: on unknown keys (typo'd sweep declarations
+                must not silently fall back to defaults) or on values
+                rejected by the usual construction-time validation.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown SimConfig field(s): {sorted(unknown)}")
+        kwargs = dict(data)
+        for name, nested_type in _NESTED_TYPES.items():
+            if name not in kwargs:
+                continue
+            nested = dict(kwargs[name])
+            extra = set(nested) - {f.name for f in fields(nested_type)}
+            if extra:
+                raise ConfigError(
+                    f"unknown {name} field(s): {sorted(extra)}")
+            if name == "predictor" and "pht_entries" in nested:
+                nested["pht_entries"] = tuple(nested["pht_entries"])
+            kwargs[name] = nested_type(**nested)
+        return cls(**kwargs)
 
     def with_optimizations(self, opts: OptimizationConfig) -> "SimConfig":
         """A copy of this configuration with a different fill-unit

@@ -1,0 +1,79 @@
+"""Result serialization: SimResult -> JSON and back.
+
+Lets runs be archived and diffed across code versions
+(``tools/compare_runs.py``), and feeds external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Optional
+
+from repro.core.results import OptCoverage, SimResult
+
+SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """A JSON-safe dict of one run's results (schema-versioned)."""
+    payload = asdict(result)
+    payload["schema"] = SCHEMA_VERSION
+    payload["derived"] = {
+        "ipc": result.ipc,
+        "tc_hit_rate": result.tc_hit_rate,
+        "tc_instr_fraction": result.tc_instr_fraction,
+        "bypass_delayed_fraction": result.bypass_delayed_fraction,
+        "mispredict_rate": result.mispredict_rate,
+    }
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimResult:
+    """Rebuild a :class:`SimResult` from :func:`result_to_dict` output.
+
+    Raises:
+        ValueError: on an unknown schema version.
+    """
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unknown result schema {payload.get('schema')!r}")
+    data = {k: v for k, v in payload.items()
+            if k not in ("schema", "derived")}
+    data["coverage"] = OptCoverage(**data["coverage"])
+    return SimResult(**data)
+
+
+def dump_results(results: list, path: str) -> None:
+    """Write a list of results to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump([result_to_dict(r) for r in results], handle, indent=1)
+
+
+def load_results(path: str) -> list:
+    """Read results written by :func:`dump_results`."""
+    with open(path) as handle:
+        return [result_from_dict(p) for p in json.load(handle)]
+
+
+def diff_results(old: SimResult, new: SimResult,
+                 threshold_pct: float = 1.0) -> Optional[str]:
+    """Human-readable IPC drift between two runs of the same experiment,
+    or ``None`` when within *threshold_pct*.
+
+    Raises:
+        ValueError: when the runs are not the same experiment.
+    """
+    if (old.benchmark, old.config_label) != (new.benchmark,
+                                             new.config_label):
+        raise ValueError("results describe different experiments")
+    if old.ipc == 0:
+        return None
+    drift = 100.0 * (new.ipc - old.ipc) / old.ipc
+    if abs(drift) < threshold_pct:
+        return None
+    return (f"{old.benchmark}[{old.config_label}]: IPC "
+            f"{old.ipc:.3f} -> {new.ipc:.3f} ({drift:+.1f}%)")
+
+
+__all__ = ["result_to_dict", "result_from_dict", "dump_results",
+           "load_results", "diff_results", "SCHEMA_VERSION"]

@@ -1,710 +1,34 @@
-"""The pipeline timing model.
+"""Back-compatible entry point for the pipeline timing model.
 
-A committed-stream replay of the paper's machine: a 16-wide fetch
-engine (trace cache + supporting instruction cache + multiple-branch
-predictor), in-order rename with checkpoint limits, dataflow scheduling
-onto four clusters of four pipelined functional units with a +1-cycle
-cross-cluster bypass, a memory scheduler that refuses to hoist loads
-past unknown store addresses, in-order retirement, and a fill unit
-feeding the trace cache behind retirement.
+The monolithic ``PipelineModel`` was decomposed into composable stage
+objects driven by :class:`repro.core.engine.Engine` (see
+``docs/architecture.md``): fetch, rename, issue, execute, retire and
+fill stages behind the :class:`repro.core.stages.base.PipelineStage`
+contract, with an explicit :class:`repro.core.stages.base.MachineState`
+handoff.
 
-Methodology (DESIGN.md §3): instructions are processed in committed
-order; each acquires fetch, rename, execute and retire cycles subject
-to structural and dataflow constraints. Mispredicted branches stall
-subsequent fetch until resolution — *except* the instructions already
-inside the same trace segment along the correct path, which is exactly
-the inactive-issue benefit of the baseline machine.
-
-Observability: every run counts against a hierarchical telemetry
-registry (the model's own, or the one of an attached
-:class:`~repro.telemetry.Telemetry` session), which is the single
-source of truth behind :class:`~repro.core.results.SimResult`'s
-counters. With a session attached the model additionally emits
-structured events (mispredicts, trace cache misfetches, checkpoint
-repairs, fill-unit activity) and feeds the top-down cycle-accounting
-pass; without one, those paths collapse to null-object no-ops.
+``PipelineModel`` remains the stable name existing callers and tests
+construct — it *is* the engine, with the machine's components
+(``predictor``, ``trace_cache``, ``fill_unit``, ``checkpoints``, …)
+and the ``timing_hook`` attachment point exposed exactly as before,
+and is bit-for-bit equivalent to the pre-refactor model.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.core.engine import Engine
+from repro.core.stages.base import FetchEntry
 
-from repro.branch.predictor import MultiBranchPredictor
-from repro.cache.hierarchy import MemoryHierarchy
-from repro.core.clusters import (
-    BypassNetwork,
-    FunctionalUnits,
-    ReservationStations,
-)
-from repro.core.config import SimConfig
-from repro.core.memsched import MemoryScheduler
-from repro.core.rename import RenameUnit, RetireUnit
-from repro.core.results import SimResult
-from repro.fillunit.unit import FillUnit, FillUnitConfig
-from repro.isa.opcodes import OpClass
-from repro.telemetry.attribution import CycleAccountant
-from repro.telemetry.events import (
-    BRANCH_MISPREDICT,
-    CHECKPOINT_REPAIR,
-    FETCH_MISFETCH,
-    INSTR_RETIRED,
-    NULL_EVENT_STREAM,
-    RUN_FINISHED,
-    RUN_STARTED,
-)
-from repro.telemetry.registry import TelemetryRegistry
-from repro.tracecache.cache import TraceCache
+#: historical private name, kept for any external pickles/tooling.
+_FetchEntry = FetchEntry
 
 
-@dataclass
-class _FetchEntry:
-    """One instruction of a fetch group, ready for rename."""
+class PipelineModel(Engine):
+    """One configured machine instance; replays committed traces.
 
-    record: object          # CommittedInstr (None for phantoms)
-    instr: object           # possibly the TC's transformed copy
-    slot: int               # issue slot -> functional unit
-    from_tc: bool
-    mispredicted: bool = False
-    promoted: bool = False
-    #: a predicated instruction whose guard failed on the actual path:
-    #: it issues and executes (writing back its old value) but matches
-    #: no committed record.
-    phantom: bool = False
-
-
-#: registry scope behind each hot-path counter the model maintains.
-_METRIC_SCOPES = {
-    "tc_instrs": "fetch.tc.instrs",
-    "ic_instrs": "fetch.ic.instrs",
-    "cov_moves": "fetch.tc.opt.moves",
-    "cov_reassoc": "fetch.tc.opt.reassoc",
-    "cov_scaled": "fetch.tc.opt.scaled",
-    "cov_any": "fetch.tc.opt.any",
-    "cond_branches": "branch.cond.seen",
-    "mispredicts": "branch.cond.mispredicts",
-    "promoted_fetches": "branch.promoted.fetches",
-    "promoted_mispredicts": "branch.promoted.mispredicts",
-    "indirect_mispredicts": "branch.indirect.mispredicts",
-    "predicated_branches": "predication.branches",
-    "phantoms": "predication.phantoms",
-    "moves_eliminated": "rename.moves.eliminated",
-    "bypass_delayed": "backend.bypass.cross_cluster",
-    "exec_with_sources": "backend.exec.with_sources",
-    "checkpoint_stalls": "rename.checkpoint.stalls",
-}
-
-
-class _Metrics:
-    """Cached registry handles for the replay loop's hot counters.
-
-    A telemetry session may span several runs; start values are
-    captured here so one model's run reports per-run deltas even
-    against a shared, accumulating registry.
+    A thin alias of :class:`~repro.core.engine.Engine` — construction
+    signature, ``run()`` and all component attributes are identical.
     """
-
-    def __init__(self, registry: TelemetryRegistry) -> None:
-        for attr, scope in _METRIC_SCOPES.items():
-            setattr(self, attr, registry.counter(scope))
-        self.group_size = registry.histogram("fetch.group.size")
-        self._starts = {attr: getattr(self, attr).value
-                        for attr in _METRIC_SCOPES}
-
-    def delta(self, attr: str) -> int:
-        return getattr(self, attr).value - self._starts[attr]
-
-
-class PipelineModel:
-    """One configured machine instance; replays committed traces."""
-
-    def __init__(self, config: SimConfig, telemetry=None) -> None:
-        self.config = config
-        self.telemetry = telemetry
-        if telemetry is not None and telemetry.enabled:
-            self.registry = telemetry.registry
-            self.events = telemetry.events
-        else:
-            # The registry stays live even without a session: it is the
-            # source of truth the SimResult counters derive from.
-            self.registry = TelemetryRegistry()
-            self.events = NULL_EVENT_STREAM
-        registry_arg = self.registry
-        events_arg = self.events if self.events.enabled else None
-        self.hierarchy = MemoryHierarchy(config.hierarchy)
-        self.predictor = MultiBranchPredictor(config.predictor)
-        self.trace_cache = (TraceCache(config.trace_cache)
-                            if config.trace_cache_enabled else None)
-        self.fill_unit = None
-        if self.trace_cache is not None:
-            self.trace_cache.events = events_arg
-            fill_config = FillUnitConfig(
-                max_instrs=config.trace_cache.max_instrs,
-                max_cond_branches=config.trace_cache.max_cond_branches,
-                trace_packing=config.trace_packing,
-                latency=config.fill_latency,
-                num_clusters=config.num_clusters,
-                cluster_size=config.cluster_size,
-                optimizations=config.optimizations,
-                verify=config.verify_fill,
-                verify_each=config.verify_each_pass,
-            )
-            self.fill_unit = FillUnit(fill_config, self.trace_cache,
-                                      self.predictor.bias,
-                                      registry=registry_arg,
-                                      events=events_arg)
-        self.fus = FunctionalUnits(config.num_fus)
-        self.rs = ReservationStations(config.num_fus, config.rs_per_fu)
-        self.bypass = BypassNetwork(config.cluster_size,
-                                    config.cross_cluster_penalty)
-        self.rename_unit = RenameUnit(config.issue_width,
-                                      config.max_blocks_per_cycle,
-                                      config.window_size)
-        from repro.core.clusters import CheckpointStore
-        self.checkpoints = CheckpointStore(config.max_checkpoints)
-        self.retire_unit = RetireUnit(config.retire_width)
-        self.memsched = MemoryScheduler(self.hierarchy,
-                                        config.store_forward_window)
-        self._ic_line_mask = ~(config.hierarchy.l1i_line - 1)
-        self._m = _Metrics(self.registry)
-        #: optional per-instruction timing callback; see
-        #: :class:`repro.core.debug.TimingTrace`.
-        self.timing_hook = None
-
-    # ==================================================================
-    # Fetch
-    # ==================================================================
-
-    def _fetch_group(self, records: list, start: int, cycle: int):
-        """Assemble one fetch group starting at stream index *start*.
-
-        Returns ``(entries, fetch_cycle)``; ``len(entries)`` stream
-        records were consumed.
-        """
-        pc = records[start].pc
-        if self.trace_cache is not None:
-            segment = self.trace_cache.lookup(pc, cycle,
-                                              self._path_chooser)
-            if segment is not None:
-                # The supporting I-cache is probed in parallel with the
-                # trace cache (figure 1's datapath); keep its line
-                # resident so the rare TC misses do not pay a full
-                # memory round trip for code that streams through the
-                # TC every cycle.
-                self.hierarchy.l1i.fill(pc)
-                return self._fetch_from_segment(segment, records, start,
-                                                cycle)
-            self.fill_unit.note_fetch_miss(pc)
-            self.events.emit(FETCH_MISFETCH, cycle, pc=pc)
-        return self._fetch_from_icache(records, start, cycle)
-
-    def _path_chooser(self, segment) -> int:
-        """Way-selection score for path-associative lookup.
-
-        0: the predictor disagrees with the segment's path; 1: agrees
-        (promoted branches agree by construction); 2: agrees AND the
-        segment is predicated — a predicated segment matches the actual
-        path on *either* outcome of its converted branch, so it is
-        strictly more useful than a single-path twin.
-        """
-        agree = 1
-        for info in segment.branches:
-            if not info.promoted:
-                agree = int(self.predictor.predict_cond(info.pc, 0)
-                            == info.direction)
-                break
-        if agree and any(instr.guard is not None
-                         for instr in segment.instrs):
-            return 2
-        return agree
-
-    def _fetch_from_segment(self, segment, records: list, start: int,
-                            cycle: int):
-        """Consume the leading portion of *segment* that matches the
-        actual path; all of it issues this cycle (inactive issue)."""
-        entries = []
-        branch_at = {b.index: b for b in segment.branches}
-        position = 0        # unpromoted-branch predictor slot
-        consumed = 0
-        n = len(records)
-        for logical, instr in enumerate(segment.instrs):
-            stream_idx = start + consumed
-            if stream_idx >= n:
-                break
-            record = records[stream_idx]
-            if instr.pc != record.pc:
-                if instr.guard is not None:
-                    # Predicated instruction skipped on the actual path:
-                    # it still issues (guard false, old value kept) but
-                    # consumes no committed record.
-                    entries.append(_FetchEntry(
-                        None, instr, segment.slots[logical],
-                        from_tc=True, phantom=True))
-                    continue
-                break       # segment path diverges from the actual path
-            entry = _FetchEntry(record, instr, segment.slots[logical],
-                                from_tc=True)
-            entries.append(entry)
-            consumed += 1
-            if instr.is_cond_branch():
-                info = branch_at.get(logical)
-                if info is not None and info.promoted:
-                    entry.promoted = True
-                    predicted = info.direction
-                else:
-                    predicted = self.predictor.predict_cond(record.pc,
-                                                            position)
-                    self.predictor.update_cond(record.pc, position,
-                                               record.taken)
-                    position += 1
-                entry.mispredicted = predicted != record.taken
-            else:
-                self._handle_unconditional(entry)
-        return entries, cycle
-
-    def _fetch_from_icache(self, records: list, start: int, cycle: int):
-        """Block-granular fetch from the supporting instruction cache."""
-        pc = records[start].pc
-        extra = self.hierarchy.fetch_instr(pc)
-        fetch_cycle = cycle + extra
-        entries = []
-        line = pc & self._ic_line_mask
-        cond_count = 0
-        n = len(records)
-        while (len(entries) < self.config.ic_fetch_width
-               and start + len(entries) < n):
-            record = records[start + len(entries)]
-            instr = record.instr
-            if entries:
-                prev = entries[-1].record
-                if record.pc != prev.pc + 4:
-                    break   # previous instruction transferred control
-                if record.pc & self._ic_line_mask != line:
-                    break   # crossed the cache line
-            if instr.is_cond_branch() and cond_count >= \
-                    self.predictor.max_dynamic_branches:
-                break
-            entry = _FetchEntry(record, instr, len(entries), from_tc=False)
-            entries.append(entry)
-            if instr.is_cond_branch():
-                predicted = self.predictor.predict_cond(record.pc,
-                                                        cond_count)
-                self.predictor.update_cond(record.pc, cond_count,
-                                           record.taken)
-                cond_count += 1
-                entry.mispredicted = predicted != record.taken
-                if entry.mispredicted:
-                    break
-                if record.taken:
-                    break   # fetch ends at a taken branch
-            else:
-                self._handle_unconditional(entry)
-                if record.next_pc != record.pc + 4:
-                    break   # taken jump/call/return ends the group
-            if instr.is_serializing():
-                break
-        return entries, fetch_cycle
-
-    def _handle_unconditional(self, entry: _FetchEntry) -> None:
-        """RAS/BTB maintenance and indirect-target checking."""
-        instr = entry.instr
-        record = entry.record
-        if instr.is_call():
-            self.predictor.note_call(record.pc + 4)
-        if instr.is_indirect() or instr.is_return():
-            predicted = self.predictor.predict_indirect(
-                record.pc, instr.is_return())
-            if predicted != record.next_pc:
-                entry.mispredicted = True
-            self.predictor.train_indirect(record.pc, record.next_pc)
-
-    # ==================================================================
-    # The replay loop
-    # ==================================================================
-
-    def run(self, trace, benchmark: str = "bench",
-            label: str = "run", program=None) -> SimResult:
-        """Replay *trace* (a :class:`CommittedTrace`) and return the
-        per-run statistics.
-
-        *program* (the static image) is only needed when
-        ``config.model_wrong_path`` is set — wrong-path instructions
-        are decoded from it.
-
-        Raises:
-            ConfigError: when wrong-path modeling is requested without
-                a program image.
-        """
-        config = self.config
-        wrong_path = None
-        if config.model_wrong_path:
-            if program is None:
-                from repro.errors import ConfigError
-                raise ConfigError(
-                    "model_wrong_path requires the program image")
-            from repro.core.wrongpath import WrongPathFetcher
-            wrong_path = WrongPathFetcher(program, self.hierarchy,
-                                          config.ic_fetch_width)
-        records = trace.records
-        n = len(records)
-        result = SimResult(benchmark=benchmark, config_label=label,
-                           instructions=n, cycles=0)
-        events = self.events
-        events.emit(RUN_STARTED, 0, benchmark=benchmark, label=label,
-                    instructions=n)
-        if n == 0:
-            self._finish_stats(result)
-            events.emit(RUN_FINISHED, 0, benchmark=benchmark,
-                        label=label, instructions=0, cycles=0, ipc=0.0)
-            return result
-
-        m = self._m
-        accountant = None
-        if self.telemetry is not None and self.telemetry.attribution:
-            accountant = CycleAccountant(config.cross_cluster_penalty)
-        hook = self.timing_hook
-        want_payload = (hook is not None) or events.wants_instr_timing
-        emit_retired = events.wants_instr_timing
-
-        reg_ready = [(0, None)] * 32
-        retire_cycles: list = []
-        window = config.window_size
-        cluster_size = config.cluster_size
-        redirect = config.mispredict_redirect
-
-        fetch_ready = 0
-        index = 0
-        # Front-end delay decomposition of the *next* group's fetch
-        # cycle, for the cycle-accounting pass: how much of it is
-        # mispredict redirect vs serialization drain.
-        pending_recovery = 0
-        pending_serialize = 0
-        while index < n:
-            requested = fetch_ready
-            entries, fetch_cycle = self._fetch_group(records, index,
-                                                     fetch_ready)
-            if not entries:     # defensive; cannot happen on real traces
-                index += 1
-                continue
-            fetch_extra = fetch_cycle - requested
-            group_recovery = pending_recovery
-            group_serialize = pending_serialize
-            m.group_size.observe(len(entries))
-            group_next = fetch_cycle + 1
-            recovery_bump = 0
-            serialize_after = None
-
-            consumed_in_group = 0
-            for entry in entries:
-                record = entry.record
-                instr = entry.instr
-                seq = len(retire_cycles)
-                window_release = (retire_cycles[seq - window]
-                                  if seq >= window else 0)
-                is_branch = instr.is_cond_branch()
-                checkpoint_free = (self.checkpoints.acquire(fetch_cycle + 1)
-                                   if is_branch else 0)
-                if checkpoint_free > fetch_cycle + 1:
-                    m.checkpoint_stalls.add()
-                    events.emit(CHECKPOINT_REPAIR, fetch_cycle,
-                                pc=record.pc if record else 0,
-                                resume=checkpoint_free)
-                renamed = self.rename_unit.rename(
-                    fetch_cycle, is_branch, window_release,
-                    not_before=checkpoint_free)
-
-                if entry.phantom:
-                    # Issues and executes; architecturally writes back
-                    # its old destination value. No committed record.
-                    self._execute(entry, renamed, reg_ready, cluster_size)
-                    m.phantoms.add()
-                    continue
-                consumed_in_group += 1
-
-                if entry.from_tc:
-                    m.tc_instrs.add()
-                    if instr.move_flag:
-                        m.cov_moves.add()
-                    if instr.reassociated:
-                        m.cov_reassoc.add()
-                    if instr.scale is not None:
-                        m.cov_scaled.add()
-                    if (instr.move_flag or instr.reassociated
-                            or instr.scale is not None):
-                        m.cov_any.add()
-                else:
-                    m.ic_instrs.add()
-
-                if instr.move_flag:
-                    complete = self._execute_move(instr, renamed, reg_ready)
-                    penalized = False
-                    m.moves_eliminated.add()
-                else:
-                    complete, penalized = self._execute(
-                        entry, renamed, reg_ready, cluster_size)
-
-                retire_cycle = self.retire_unit.retire(complete)
-                retire_cycles.append(retire_cycle)
-                if accountant is not None:
-                    # Group-level delays are debited once, on the
-                    # group's first retiring instruction.
-                    accountant.on_retire(
-                        fetch_cycle, complete, retire_cycle,
-                        recovery=group_recovery,
-                        fetch_extra=fetch_extra,
-                        extra_is_tc_miss=self.trace_cache is not None,
-                        serialize=group_serialize,
-                        bypass_penalized=penalized)
-                    group_recovery = 0
-                    group_serialize = 0
-                    fetch_extra = 0
-                if want_payload:
-                    payload = dict(
-                        seq=seq, pc=record.pc, op=instr.op.value,
-                        fetch=fetch_cycle, rename=renamed,
-                        complete=complete, retire=retire_cycle,
-                        slot=entry.slot, from_tc=entry.from_tc,
-                        mispredicted=entry.mispredicted)
-                    if hook is not None:
-                        hook(**payload)
-                    if emit_retired:
-                        events.emit(INSTR_RETIRED, retire_cycle,
-                                    **payload)
-
-                arch_instr = record.instr
-                if arch_instr.is_cond_branch():
-                    m.cond_branches.add()
-                    # The bias table keeps learning from the architected
-                    # branch even when the segment carries it predicated
-                    # away (as a NOP).
-                    self.predictor.record_outcome(record.pc, record.taken)
-                    if instr.guard is None and not instr.is_cond_branch():
-                        m.predicated_branches.add()
-                    if entry.promoted:
-                        m.promoted_fetches.add()
-                        if entry.mispredicted:
-                            m.promoted_mispredicts.add()
-                    if entry.mispredicted:
-                        m.mispredicts.add()
-                        events.emit(BRANCH_MISPREDICT, complete,
-                                    pc=record.pc, taken=record.taken,
-                                    promoted=entry.promoted,
-                                    indirect=False)
-                elif entry.mispredicted:
-                    m.indirect_mispredicts.add()
-                    events.emit(BRANCH_MISPREDICT, complete,
-                                pc=record.pc, taken=True,
-                                promoted=False, indirect=True)
-
-                if is_branch:
-                    self.checkpoints.commit(complete)
-                if entry.mispredicted:
-                    resume = complete + redirect
-                    if resume > group_next:
-                        recovery_bump += resume - group_next
-                        group_next = resume
-                    if wrong_path is not None \
-                            and arch_instr.is_cond_branch():
-                        wrong_path.pollute(
-                            wrong_path.wrong_target(record),
-                            max(0, complete - fetch_cycle))
-                if instr.is_serializing():
-                    serialize_after = retire_cycle
-
-                if self.fill_unit is not None:
-                    self.fill_unit.retire(record, retire_cycle)
-
-            serialize_bump = 0
-            if serialize_after is not None \
-                    and serialize_after + 1 > group_next:
-                serialize_bump = serialize_after + 1 - group_next
-                group_next = serialize_after + 1
-            pending_recovery = recovery_bump
-            pending_serialize = serialize_bump
-            fetch_ready = group_next
-            index += consumed_in_group
-
-        result.cycles = retire_cycles[-1]
-        if wrong_path is not None:
-            result.wrong_path_fetches = wrong_path.instructions
-        self._finish_stats(result)
-        if accountant is not None:
-            result.attribution = accountant.finish(result.cycles)
-        events.emit(RUN_FINISHED, result.cycles, benchmark=benchmark,
-                    label=label, instructions=n, cycles=result.cycles,
-                    ipc=result.ipc,
-                    mispredict_rate=result.mispredict_rate,
-                    tc_instr_fraction=result.tc_instr_fraction,
-                    attribution=result.attribution)
-        return result
-
-    # ==================================================================
-    # Execution timing
-    # ==================================================================
-
-    def _execute_move(self, instr, renamed: int, reg_ready: list) -> int:
-        """A marked register move: completed by the rename logic.
-
-        The destination inherits the source's tag — same availability
-        time, same producing cluster — and no functional unit or
-        reservation station is consumed.
-        """
-        sources = instr.sources()
-        if sources and sources[0] != 0:
-            ready = reg_ready[sources[0]]
-        else:
-            ready = (0, None)
-        dest = instr.dest()
-        if dest is not None:
-            reg_ready[dest] = ready
-        return max(renamed, ready[0])
-
-    def _execute(self, entry: _FetchEntry, renamed: int, reg_ready: list,
-                 cluster_size: int):
-        """Schedule one instruction onto its functional unit; returns
-        ``(completion cycle, last-source-bypass-penalized)`` and
-        updates dataflow state."""
-        instr = entry.instr
-        record = entry.record
-        if instr.opclass is OpClass.NOP:
-            # NOPs (including instructions squashed by dead-code
-            # elimination) occupy their trace cache slot but are never
-            # dispatched to a functional unit.
-            return renamed, False
-        fu = entry.slot
-        cluster = fu // cluster_size
-        bypass = self.bypass
-
-        is_store = instr.is_store()
-        if instr.is_mem():
-            addr_regs, value_reg = instr.mem_split()
-            roles = [(reg, "addr") for reg in addr_regs]
-            if value_reg is not None:
-                roles.append((value_reg, "data"))
-        else:
-            roles = [(reg, "addr") for reg in instr.sources()]
-
-        dispatch_ready = 0      # all operands (last-arriving source)
-        agen_ready = 0          # address operands only (store AGEN)
-        data_ready = 0          # store-data path, joins in store queue
-        last_penalized = False
-        saw_source = False
-        for reg, role in roles:
-            if reg == 0:
-                continue
-            ready, producer_cluster = reg_ready[reg]
-            effective = bypass.effective_ready(ready, producer_cluster,
-                                               cluster)
-            penalized = effective != ready
-            saw_source = True
-            if role == "data":
-                if effective > data_ready:
-                    data_ready = effective
-            elif effective > agen_ready:
-                agen_ready = effective
-            if effective > dispatch_ready:
-                dispatch_ready = effective
-                last_penalized = penalized
-            elif effective == dispatch_ready and penalized:
-                last_penalized = True
-        if saw_source:
-            self._m.exec_with_sources.add()
-            if last_penalized:
-                self._m.bypass_delayed.add()
-
-        rs_free = self.rs.admit(fu, renamed)
-        earliest = max(renamed + 1,
-                       agen_ready if is_store else dispatch_ready,
-                       rs_free)
-        exec_start = self.fus.reserve(fu, earliest)
-        self.rs.occupy(fu, exec_start)
-
-        opclass = instr.opclass
-        if opclass is OpClass.LOAD:
-            agen_done = exec_start + 1
-            complete = self.memsched.load_timing(record.mem_addr, agen_done)
-        elif opclass is OpClass.STORE:
-            agen_done = exec_start + 1
-            complete = self.memsched.store_timing(record.mem_addr,
-                                                  agen_done, data_ready)
-        else:
-            complete = exec_start + instr.info.latency
-
-        dest = instr.dest()
-        if dest is not None:
-            reg_ready[dest] = (complete, cluster)
-        return complete, last_penalized
-
-    # ==================================================================
-
-    def _finish_stats(self, result: SimResult) -> None:
-        """Derive the result's counters from the telemetry registry and
-        mirror the per-component statistics into it."""
-        m = self._m
-        registry = self.registry
-        result.tc_fetched_instrs = m.delta("tc_instrs")
-        result.ic_fetched_instrs = m.delta("ic_instrs")
-        result.cond_branches = m.delta("cond_branches")
-        result.mispredicts = m.delta("mispredicts")
-        result.promoted_fetches = m.delta("promoted_fetches")
-        result.promoted_mispredicts = m.delta("promoted_mispredicts")
-        result.indirect_mispredicts = m.delta("indirect_mispredicts")
-        result.predicated_branches = m.delta("predicated_branches")
-        result.predication_phantoms = m.delta("phantoms")
-        result.moves_eliminated = m.delta("moves_eliminated")
-        result.bypass_delayed = m.delta("bypass_delayed")
-        result.executed_with_sources = m.delta("exec_with_sources")
-        cov = result.coverage
-        cov.moves = m.delta("cov_moves")
-        cov.reassoc = m.delta("cov_reassoc")
-        cov.scaled = m.delta("cov_scaled")
-        cov.any_opt = m.delta("cov_any")
-
-        # Per-component statistics (fresh per model) mirrored into the
-        # registry so one snapshot holds the whole machine.
-        if self.trace_cache is not None:
-            tc = self.trace_cache.stats
-            result.tc_lookups = tc.lookups
-            result.tc_hits = tc.hits
-            registry.counter("fetch.tc.lookups").add(tc.lookups)
-            registry.counter("fetch.tc.hits").add(tc.hits)
-            registry.counter("fetch.tc.misses").add(tc.lookups - tc.hits)
-            registry.counter("fetch.tc.fills").add(tc.fills)
-            registry.counter("fetch.tc.refreshes").add(tc.refreshes)
-            registry.counter("fetch.tc.multipath_hits").add(
-                tc.multipath_hits)
-            registry.gauge("fetch.tc.resident_segments").set(
-                self.trace_cache.resident_segments())
-        if self.fill_unit is not None:
-            result.segments_built = self.fill_unit.stats.segments_built
-            result.segments_deduped = self.fill_unit.stats.segments_deduped
-            result.pass_totals = self.fill_unit.pass_totals
-            registry.counter("fillunit.instructions_collected").add(
-                self.fill_unit.stats.instructions_collected)
-        result.dcache_hits = self.hierarchy.l1d.stats.hits
-        result.dcache_misses = self.hierarchy.l1d.stats.misses
-        result.icache_misses = self.hierarchy.l1i.stats.misses
-        result.forwarded_loads = self.memsched.forwarded_loads
-        registry.counter("mem.l1d.hits").add(result.dcache_hits)
-        registry.counter("mem.l1d.misses").add(result.dcache_misses)
-        registry.counter("mem.l1i.misses").add(result.icache_misses)
-        registry.counter("mem.forwarded_loads").add(result.forwarded_loads)
-
-        pred = self.predictor.stats
-        registry.counter("branch.pht.predictions").add(
-            pred.cond_predictions)
-        registry.counter("branch.pht.mispredicts").add(
-            pred.cond_mispredicts)
-        registry.counter("branch.indirect.predictions").add(
-            pred.indirect_predictions)
-        registry.counter("rename.window_stalls").add(
-            self.rename_unit.window_stalls)
-        registry.counter("rename.width_stalls").add(
-            self.rename_unit.width_stalls)
-        registry.counter("rename.block_limit_stalls").add(
-            self.rename_unit.block_limit_stalls)
-        registry.counter("backend.bypass.crossings").add(
-            self.bypass.crossings)
-
-        result.telemetry = registry.flat()
 
 
 __all__ = ["PipelineModel"]

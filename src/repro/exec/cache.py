@@ -1,0 +1,96 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<fp[:2]>/<fp>.json`` — one JSON document per job
+fingerprint, holding the serialized :class:`~repro.core.results.
+SimResult` (the :mod:`repro.core.export` schema, telemetry snapshot
+included) plus a small provenance header. Writes are atomic
+(tmp-file + ``os.replace``) so concurrent worker processes racing on
+the same fingerprint can only ever leave a complete entry; corrupt or
+schema-incompatible entries read as misses and are quietly discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+import tempfile
+from typing import Dict, Optional, Union
+
+from repro.core.export import result_from_dict, result_to_dict
+from repro.core.results import SimResult
+
+#: bump when the on-disk envelope changes shape.
+ENVELOPE_VERSION = 1
+
+
+class ResultCache:
+    """Fingerprint-addressed store of finished simulation results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[SimResult]:
+        """The cached result, or ``None`` on a miss (including corrupt
+        or schema-incompatible entries, which are removed)."""
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+            if envelope.get("envelope") != ENVELOPE_VERSION:
+                raise ValueError("envelope version mismatch")
+            result = result_from_dict(envelope["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            # A torn or outdated entry: treat as a miss and clear it so
+            # the slot can be refilled cleanly.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, fingerprint: str, result: SimResult,
+            provenance: Optional[Dict[str, object]] = None) -> Path:
+        """Store *result* under *fingerprint* (atomic; last writer
+        wins, and every writer writes identical bytes by construction
+        of the fingerprint)."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "envelope": ENVELOPE_VERSION,
+            "fingerprint": fingerprint,
+            "provenance": dict(provenance or {}),
+            "result": result_to_dict(result),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(envelope, handle, indent=1)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        return path
+
+
+__all__ = ["ResultCache", "ENVELOPE_VERSION"]

@@ -1,0 +1,80 @@
+"""Canonical job fingerprinting.
+
+A job is addressed by the SHA-256 of its canonical JSON description:
+the full :class:`~repro.core.config.SimConfig` (via ``to_dict``), the
+workload identity (benchmark name, scale, instruction budget), and the
+code version. Two processes — today or next week — that would simulate
+the same machine on the same workload under the same code produce the
+same fingerprint, which is what makes the on-disk result cache safe to
+share between runs, branches and worker processes.
+
+Cache invalidation (see ``docs/architecture.md``): the code version is
+a content hash over every ``repro`` source file, so *any* source
+change — timing model, workload builder, optimization pass — retires
+every previously cached result. That is deliberately conservative:
+stale timing data silently feeding a figure is far worse than a cold
+cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.core.config import SimConfig
+
+#: bump manually on semantic changes that source hashing cannot see
+#: (e.g. a result-schema change in an external dependency).
+SCHEMA_VERSION = 1
+
+_code_version: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the ``repro`` package sources (cached).
+
+    Hashes file-relative paths and contents, in sorted order, so the
+    value is independent of checkout location and filesystem mtimes.
+    """
+    global _code_version
+    if _code_version is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def job_fingerprint(config: SimConfig, benchmark: str, scale: float,
+                    max_instructions: Optional[int] = None,
+                    version: Optional[str] = None) -> str:
+    """The content address of one simulation job.
+
+    *version* defaults to :func:`code_version`; tests pass an explicit
+    value to exercise invalidation without rewriting source files.
+    """
+    description = {
+        "schema": SCHEMA_VERSION,
+        "code": version if version is not None else code_version(),
+        "benchmark": benchmark,
+        "scale": scale,
+        "max_instructions": max_instructions,
+        "config": config.to_dict(),
+    }
+    raw = canonical_json(description).encode()
+    return hashlib.sha256(raw).hexdigest()
+
+
+__all__ = ["SCHEMA_VERSION", "code_version", "canonical_json",
+           "job_fingerprint"]

@@ -1,0 +1,134 @@
+"""Multiprocess job execution with deterministic seeding and retry.
+
+The worker entry point (:func:`run_job_payload`) is a plain top-level
+function over a plain-dict payload, so it pickles cleanly and can also
+run inline in the parent (``jobs=1``, and the unit tests). Each worker
+process memoizes committed traces by ``(benchmark, scale)`` — the
+expensive functional execution happens once per process, not once per
+job — and seeds :mod:`random` from the job fingerprint before
+touching any model code, so a pool run is reproducible job-by-job no
+matter which worker picks which job up.
+
+Crash handling: a worker dying mid-job (OOM killer, hard crash)
+surfaces as :class:`~concurrent.futures.process.BrokenProcessPool`,
+which poisons the whole executor. The pool rebuilds the executor and
+resubmits the unfinished payloads, up to ``retries`` extra attempts
+per job, emitting an ``exec.worker.retry`` telemetry event each time.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+import os
+from pathlib import Path
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import EXEC_WORKER_RETRY, NULL_EVENT_STREAM
+
+#: per-process committed-trace memo, keyed (benchmark, scale).
+_TRACE_MEMO: Dict[Tuple[str, float], Any] = {}
+
+
+def derive_seed(fingerprint: str) -> int:
+    """The deterministic per-job seed: the fingerprint's head."""
+    return int(fingerprint[:16], 16)
+
+
+def _trace_for(benchmark: str, scale: float) -> Any:
+    key = (benchmark, scale)
+    if key not in _TRACE_MEMO:
+        from repro import workloads
+        from repro.machine.executor import Executor
+        program = workloads.build(benchmark, scale)
+        _TRACE_MEMO[key] = Executor(program).run()
+    return _TRACE_MEMO[key]
+
+
+def run_job_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one job described by a picklable payload.
+
+    Payload keys: ``benchmark``, ``scale``, ``config`` (a
+    ``SimConfig.to_dict()`` form), ``label``, ``fingerprint``, and
+    optionally ``crash_once_path`` (test hook: hard-kill this worker
+    the first time the job is attempted, to exercise retry).
+    Returns ``{"fingerprint", "result"}`` with the result in the
+    :mod:`repro.core.export` dict schema.
+    """
+    marker = payload.get("crash_once_path")
+    if marker is not None and not os.path.exists(marker):
+        Path(marker).touch()
+        os._exit(17)
+
+    random.seed(derive_seed(payload["fingerprint"]))
+
+    from repro.core.config import SimConfig
+    from repro.core.engine import Engine
+    from repro.core.export import result_to_dict
+
+    config = SimConfig.from_dict(payload["config"])
+    trace = _trace_for(payload["benchmark"], payload["scale"])
+    result = Engine(config).run(trace, benchmark=payload["benchmark"],
+                                label=payload["label"])
+    return {"fingerprint": payload["fingerprint"],
+            "result": result_to_dict(result)}
+
+
+class WorkerPool:
+    """A crash-tolerant, order-preserving process pool."""
+
+    def __init__(self, jobs: int, retries: int = 2,
+                 events: Any = NULL_EVENT_STREAM) -> None:
+        if jobs < 1:
+            raise ValueError("need at least one worker")
+        self.jobs = jobs
+        self.retries = retries
+        self.events = events
+        self.retry_count = 0
+
+    def run(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """All payloads through :func:`run_job_payload`, results in
+        submission order.
+
+        Raises:
+            RuntimeError: when a job keeps failing after ``retries``
+                resubmissions.
+        """
+        results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        attempts = [0] * len(payloads)
+        while pending:
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            futures = {executor.submit(run_job_payload, payloads[idx]): idx
+                       for idx in pending}
+            failed: List[int] = []
+            errors: Dict[int, BaseException] = {}
+            for future in as_completed(futures):
+                idx = futures[future]
+                try:
+                    results[idx] = future.result()
+                except Exception as exc:  # incl. BrokenProcessPool
+                    attempts[idx] += 1
+                    errors[idx] = exc
+                    failed.append(idx)
+            executor.shutdown(wait=False)
+            exhausted = [idx for idx in failed
+                         if attempts[idx] > self.retries]
+            if exhausted:
+                idx = exhausted[0]
+                raise RuntimeError(
+                    f"job {payloads[idx].get('label')!r} on "
+                    f"{payloads[idx].get('benchmark')!r} failed after "
+                    f"{attempts[idx]} attempt(s)") from errors[idx]
+            for idx in failed:
+                self.retry_count += 1
+                self.events.emit(
+                    EXEC_WORKER_RETRY, 0,
+                    benchmark=payloads[idx].get("benchmark"),
+                    label=payloads[idx].get("label"),
+                    attempt=attempts[idx])
+            pending = sorted(failed)
+        return [r for r in results if r is not None]
+
+
+__all__ = ["WorkerPool", "run_job_payload", "derive_seed"]

@@ -1,19 +1,23 @@
-"""Experiment runner: shared trace/result caching for the harness.
+"""Experiment runner: the harness's view of the execution service.
 
-Functional execution of a benchmark is identical across machine
-configurations, so the committed trace is computed once per benchmark
-and replayed through as many timing configurations as the figures
-need. Baseline results are likewise cached (every figure compares
-against the same baseline machine).
+Historically this class hand-rolled its own trace and result memos;
+both now live in :class:`~repro.exec.service.ExecutionService`, which
+adds content-addressed on-disk caching (``cache_dir``) and a
+multiprocess worker pool (``jobs``). The runner keeps its original
+surface — ``trace`` / ``run`` / ``baseline`` / ``improvement`` /
+``clear`` — so the figures, tables and sweeps are unchanged, and adds
+:meth:`prefetch` to push a whole job grid through the pool before the
+figures consume the (then warm) results one by one.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, List, Optional
 
 from repro.core.config import SimConfig
-from repro.core.pipeline import PipelineModel
 from repro.core.results import SimResult
+from repro.exec.grid import JobSpec, variant_label
+from repro.exec.service import ExecutionService
 from repro.fillunit.opts.base import OptimizationConfig
 from repro import workloads
 
@@ -22,22 +26,31 @@ class ExperimentRunner:
     """Runs benchmarks under varying fill-unit configurations."""
 
     def __init__(self, scale: float = 1.0,
-                 benchmarks: Optional[list] = None) -> None:
+                 benchmarks: Optional[list] = None,
+                 jobs: int = 1, cache_dir: Optional[str] = None,
+                 telemetry: Optional[Any] = None) -> None:
         self.scale = scale
         self.benchmarks = (list(benchmarks) if benchmarks is not None
                            else workloads.names())
-        self._traces: dict = {}
-        self._results: dict = {}
+        self.service = ExecutionService(
+            scale=scale, jobs=jobs, cache_dir=cache_dir,
+            telemetry=telemetry)
 
     # ------------------------------------------------------------------
 
-    def trace(self, benchmark: str):
+    def trace(self, benchmark: str) -> Any:
         """The committed trace for *benchmark* (cached)."""
-        if benchmark not in self._traces:
-            from repro.machine.executor import Executor
-            program = workloads.build(benchmark, self.scale)
-            self._traces[benchmark] = Executor(program).run()
-        return self._traces[benchmark]
+        return self.service.trace(benchmark)
+
+    def job(self, benchmark: str,
+            optimizations: Optional[OptimizationConfig] = None,
+            fill_latency: int = 5,
+            label: Optional[str] = None) -> JobSpec:
+        """The :class:`JobSpec` for one figure-style run."""
+        opts = optimizations if optimizations is not None \
+            else OptimizationConfig.none()
+        config = SimConfig.paper(opts, fill_latency)
+        return JobSpec(benchmark, config, label or variant_label(opts))
 
     def run(self, benchmark: str,
             optimizations: Optional[OptimizationConfig] = None,
@@ -47,17 +60,14 @@ class ExperimentRunner:
         ``optimizations=None`` means the measured baseline (no trace
         optimizations).
         """
-        opts = optimizations if optimizations is not None \
-            else OptimizationConfig.none()
-        key = (benchmark, tuple(sorted(vars(opts).items())), fill_latency)
-        if key not in self._results:
-            config = SimConfig.paper(opts, fill_latency)
-            model = PipelineModel(config)
-            name = label or ("baseline" if not opts.enabled_names()
-                             else "+".join(opts.enabled_names()))
-            self._results[key] = model.run(self.trace(benchmark),
-                                           benchmark=benchmark, label=name)
-        return self._results[key]
+        return self.service.run(
+            self.job(benchmark, optimizations, fill_latency, label))
+
+    def prefetch(self, jobs: List[JobSpec]) -> List[SimResult]:
+        """Resolve a whole grid up front — through the worker pool when
+        the runner was built with ``jobs > 1`` — so subsequent
+        :meth:`run` calls replay from the memo."""
+        return self.service.run_many(jobs)
 
     def baseline(self, benchmark: str, fill_latency: int = 5) -> SimResult:
         return self.run(benchmark, OptimizationConfig.none(), fill_latency)
@@ -71,9 +81,8 @@ class ExperimentRunner:
                                                         fill_latency))
 
     def clear(self) -> None:
-        """Drop all cached traces and results."""
-        self._traces.clear()
-        self._results.clear()
+        """Drop all cached traces and results (disk cache persists)."""
+        self.service.clear()
 
 
 __all__ = ["ExperimentRunner"]

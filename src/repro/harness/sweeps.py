@@ -15,8 +15,7 @@ from typing import Callable
 
 from repro.analysis.stats import arithmetic_mean
 from repro.core.config import SimConfig
-from repro.core.pipeline import PipelineModel
-from repro.fillunit.opts.base import OptimizationConfig
+from repro.exec.grid import sweep_grid
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.report import render_table
 from repro.tracecache.cache import TraceCacheConfig
@@ -58,17 +57,16 @@ def _run_sweep(runner: ExperimentRunner, name: str, knob: str,
                points: list, make_config: Callable,
                benchmarks: list) -> SweepResult:
     result = SweepResult(name=name, knob=knob, points=list(points))
-    opts = OptimizationConfig.all()
-    for bench in benchmarks:
-        trace = runner.trace(bench)
-        pairs = []
-        for point in points:
-            base_cfg = make_config(point, OptimizationConfig.none())
-            opt_cfg = make_config(point, opts)
-            base = PipelineModel(base_cfg).run(trace, bench, "base")
-            optimized = PipelineModel(opt_cfg).run(trace, bench, "opt")
-            pairs.append((base.ipc, optimized.ipc))
-        result.rows[bench] = pairs
+    jobs = sweep_grid(benchmarks, points, make_config)
+    results = runner.service.run_many(jobs)
+    # sweep_grid's layout contract: benchmark-major, points in order,
+    # baseline immediately before optimized.
+    per_bench = 2 * len(points)
+    for b_idx, bench in enumerate(benchmarks):
+        chunk = results[b_idx * per_bench:(b_idx + 1) * per_bench]
+        result.rows[bench] = [
+            (chunk[2 * p].ipc, chunk[2 * p + 1].ipc)
+            for p in range(len(points))]
     return result
 
 

@@ -37,12 +37,20 @@ CHECKPOINT_REPAIR = "rename.checkpoint_repair"
 TC_EVICT = "tc.evict"
 INSTR_RETIRED = "instr.retired"
 VERIFY_VIOLATION = "verify.violation"
+# Execution-service progress (see repro.exec.service): job lifecycle
+# on the sweep runner's telemetry stream. `cycle` is always 0 — these
+# are wall-clock events, not simulated-time events.
+EXEC_JOB_STARTED = "exec.job.started"
+EXEC_JOB_FINISHED = "exec.job.finished"
+EXEC_JOB_CACHED = "exec.job.cached"
+EXEC_WORKER_RETRY = "exec.worker.retry"
 
 EVENT_KINDS = (
     RUN_STARTED, RUN_FINISHED, SEGMENT_BUILT, SEGMENT_DEDUPED,
     OPT_APPLIED, OPT_REJECTED, BRANCH_PROMOTED, BRANCH_MISPREDICT,
     FETCH_MISFETCH, CHECKPOINT_REPAIR, TC_EVICT, INSTR_RETIRED,
-    VERIFY_VIOLATION,
+    VERIFY_VIOLATION, EXEC_JOB_STARTED, EXEC_JOB_FINISHED,
+    EXEC_JOB_CACHED, EXEC_WORKER_RETRY,
 )
 
 

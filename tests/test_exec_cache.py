@@ -1,0 +1,74 @@
+"""The content-addressed on-disk result cache."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.results import OptCoverage, SimResult
+from repro.exec.cache import ResultCache
+
+FP = "ab" + "0" * 62
+FP2 = "cd" + "1" * 62
+
+
+def _result(cycles: int = 100) -> SimResult:
+    return SimResult(benchmark="compress", config_label="baseline",
+                     instructions=250, cycles=cycles,
+                     coverage=OptCoverage(),
+                     telemetry={"fetch.tc.instrs": 200})
+
+
+def test_put_get_round_trip(tmp_path):
+    cache = ResultCache(tmp_path)
+    stored = _result()
+    cache.put(FP, stored, provenance={"benchmark": "compress"})
+    loaded = cache.get(FP)
+    assert loaded == stored
+    assert loaded.telemetry == {"fetch.tc.instrs": 200}
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_sharded_layout_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(FP, _result())
+    assert path == tmp_path / FP[:2] / f"{FP}.json"
+    cache.put(FP2, _result(200))
+    assert len(cache) == 2
+    assert FP in cache and FP2 in cache
+    assert "ee" + "2" * 62 not in cache
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(FP) is None
+    assert cache.misses == 1
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(FP, _result())
+    path.write_text("{ not json")
+    assert cache.get(FP) is None
+    assert not path.exists()
+    # the slot can be refilled and read again
+    cache.put(FP, _result(300))
+    assert cache.get(FP).cycles == 300
+
+
+def test_stale_envelope_version_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache.put(FP, _result())
+    envelope = json.loads(path.read_text())
+    envelope["envelope"] = 999
+    path.write_text(json.dumps(envelope))
+    assert cache.get(FP) is None
+    assert not path.exists()
+
+
+def test_overwrite_is_atomic_last_writer_wins(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(FP, _result(100))
+    cache.put(FP, _result(150))
+    assert cache.get(FP).cycles == 150
+    leftovers = list(tmp_path.rglob("*.tmp"))
+    assert leftovers == []

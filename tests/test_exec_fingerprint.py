@@ -1,0 +1,50 @@
+"""Job fingerprinting: stability and sensitivity."""
+
+from __future__ import annotations
+
+from repro.core.config import SimConfig
+from repro.exec.fingerprint import (
+    canonical_json,
+    code_version,
+    job_fingerprint,
+)
+from repro.fillunit.opts.base import OptimizationConfig
+
+
+def test_code_version_stable_and_short():
+    first = code_version()
+    assert first == code_version()
+    assert len(first) == 16
+    int(first, 16)                      # hex
+
+
+def test_canonical_json_is_order_insensitive():
+    assert (canonical_json({"b": 1, "a": [2, {"d": 3, "c": 4}]})
+            == canonical_json({"a": [2, {"c": 4, "d": 3}], "b": 1}))
+
+
+def test_same_job_same_fingerprint():
+    config = SimConfig.paper(OptimizationConfig.all())
+    assert (job_fingerprint(config, "compress", 0.5)
+            == job_fingerprint(SimConfig.paper(OptimizationConfig.all()),
+                               "compress", 0.5))
+
+
+def test_fingerprint_sensitivity():
+    base = SimConfig.paper()
+    fp = job_fingerprint(base, "compress", 0.5)
+    assert fp != job_fingerprint(base, "li", 0.5)
+    assert fp != job_fingerprint(base, "compress", 0.6)
+    assert fp != job_fingerprint(base, "compress", 0.5,
+                                 max_instructions=1000)
+    assert fp != job_fingerprint(base.with_fill_latency(6),
+                                 "compress", 0.5)
+    assert fp != job_fingerprint(
+        base.with_optimizations(OptimizationConfig.all()),
+        "compress", 0.5)
+
+
+def test_code_version_invalidates():
+    config = SimConfig.paper()
+    assert (job_fingerprint(config, "compress", 0.5, version="aaaa")
+            != job_fingerprint(config, "compress", 0.5, version="bbbb"))

@@ -70,7 +70,8 @@ def test_table2_has_average_row(runner):
 def test_clear_resets_caches(runner):
     runner.baseline("compress")
     runner.clear()
-    assert runner._traces == {} and runner._results == {}
+    assert runner.service._traces == {}
+    assert runner.service._memo == {}
 
 
 # --- report rendering -------------------------------------------------------

@@ -39,12 +39,12 @@ def test_all_figures_returns_six(runner):
 def test_single_opt_figures_share_baseline_cache():
     fresh = ExperimentRunner(scale=0.05, benchmarks=["m88ksim"])
     figures.figure3(fresh)
-    cached = len(fresh._results)
+    cached = fresh.service.stats["simulated"]
     figures.figure5(fresh)
     # baseline results reused: only the scaled-add run was added
-    assert len(fresh._results) == cached + 1
+    assert fresh.service.stats["simulated"] == cached + 1
     figures.figure5(fresh)
-    assert len(fresh._results) == cached + 1   # fully cached now
+    assert fresh.service.stats["simulated"] == cached + 1  # cached now
 
 
 def test_figure_render_smoke(runner):

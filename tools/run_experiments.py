@@ -1,15 +1,44 @@
-"""Regenerate every table and figure at full scale and write the
-results to experiments_output.txt (source material for EXPERIMENTS.md)."""
+"""Regenerate every table and figure and write the results to
+experiments_output.txt (source material for EXPERIMENTS.md).
 
-import sys
+The full paper grid is prefetched through the execution service
+first — in parallel with ``--jobs N``, replayed from the
+content-addressed cache with ``--cache-dir`` — and the figure/table
+code then consumes the warm results.
+"""
+
+import argparse
 import time
 
+from repro.exec.grid import paper_grid
 from repro.harness import ExperimentRunner, figures, tables
 
-def main():
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="regenerate the paper's figures and tables")
+    parser.add_argument("scale", nargs="?", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--scale", dest="scale_opt", type=float,
+                        default=None, help="workload scale factor")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation grid")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--output", default="experiments_output.txt",
+                        help="where to write the rendered report")
+    args = parser.parse_args(argv)
+    if args.scale_opt is not None:
+        args.scale = args.scale_opt
+    return args
+
+
+def main(argv=None):
+    args = parse_args(argv)
     t0 = time.time()
-    runner = ExperimentRunner(scale=scale)
+    runner = ExperimentRunner(scale=args.scale, jobs=args.jobs,
+                              cache_dir=args.cache_dir)
+    runner.prefetch(paper_grid(runner.benchmarks))
     out = []
     out.append(tables.table1(runner).render())
     for fn in (figures.figure3, figures.figure4, figures.figure5,
@@ -22,10 +51,17 @@ def main():
         if fig.figure == "Figure 8":
             out.append(f"(SPECint95 mean {fig.extra['specint_mean']:.1f}%)")
     out.append(tables.table2(runner).render())
-    text = ("\n\n".join(out)
-            + f"\n\nscale={scale}  elapsed={time.time()-t0:.0f}s\n")
-    open("experiments_output.txt", "w").write(text)
+    stats = runner.service.stats
+    footer = (f"scale={args.scale}  jobs={args.jobs}  "
+              f"elapsed={time.time()-t0:.0f}s\n"
+              f"exec: simulated={stats['simulated']} "
+              f"memo={stats['memo']} disk={stats['disk']} "
+              f"(cache hit rate "
+              f"{100.0 * runner.service.cache_hit_rate:.0f}%)")
+    text = "\n\n".join(out) + f"\n\n{footer}\n"
+    open(args.output, "w").write(text)
     print(text)
+
 
 if __name__ == "__main__":
     main()
