@@ -1,0 +1,323 @@
+"""Control-flow graph construction over assembled program images.
+
+The graph is built from decoded instructions only — no execution — and
+deliberately *over-approximates* control flow so that every dynamically
+executable transition is covered by a static edge (the soundness
+property ``tests/test_static_edges.py`` checks against the committed
+stream):
+
+* direct branches get their target edge plus the fallthrough;
+* calls (``JAL``/``JALR``) follow the call — the matching return edge
+  comes from the callee's ``JR $ra``, which edges to *every* call
+  return site in the program;
+* non-return indirect jumps (jump tables) edge to every labelled text
+  address, since the assembler resolves table entries through symbols;
+* serializing instructions fall through (program exit simply takes no
+  edge at run time).
+
+Direct targets that land outside the text segment or off instruction
+alignment produce no edge and are recorded in
+:attr:`ControlFlowGraph.bad_targets` for the lint pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.program.image import Program
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    Control transfers only ever appear as the final instruction: the
+    address after any transfer is a leader by construction.
+    """
+
+    index: int
+    start: int
+    instrs: List[Instruction]
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        """One past the last instruction byte."""
+        return self.start + 4 * len(self.instrs)
+
+    @property
+    def last(self) -> Instruction:
+        return self.instrs[-1]
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop: the back edge's target and the body it closes."""
+
+    header: int                 # block index of the loop header
+    back_edge_source: int       # block index the back edge leaves from
+    body: FrozenSet[int]        # block indices, header included
+
+
+def direct_target(instr: Instruction) -> Optional[int]:
+    """Statically-known transfer target of *instr*, or ``None``.
+
+    Conditional branches are PC-relative byte displacements; direct
+    jumps and calls carry absolute byte addresses.
+    """
+    if instr.is_cond_branch():
+        return (instr.pc or 0) + (instr.imm or 0)
+    if instr.op in (Op.J, Op.JAL):
+        return instr.imm
+    return None
+
+
+class ControlFlowGraph:
+    """Basic blocks plus over-approximate edges for one program."""
+
+    def __init__(self, program: Program, blocks: List[BasicBlock],
+                 entry_index: int,
+                 bad_targets: List[Tuple[int, int]]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self.entry = entry_index
+        #: (branch pc, target) pairs whose target is outside the text
+        #: segment or not 4-aligned (no edge was created; lint fodder).
+        self.bad_targets = bad_targets
+        self._block_of_pc: Dict[int, int] = {}
+        for block in blocks:
+            for instr in block.instrs:
+                self._block_of_pc[instr.pc or 0] = block.index
+        self._starts: Dict[int, int] = {b.start: b.index for b in blocks}
+        self._doms: Optional[List[Set[int]]] = None
+
+    # -- navigation ----------------------------------------------------
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The block containing instruction address *pc*.
+
+        Raises:
+            KeyError: if *pc* is not an instruction address.
+        """
+        return self.blocks[self._block_of_pc[pc]]
+
+    def block_starting(self, pc: int) -> Optional[BasicBlock]:
+        index = self._starts.get(pc)
+        return None if index is None else self.blocks[index]
+
+    def edges(self) -> Set[Tuple[int, int]]:
+        """All edges as (source block index, target block index)."""
+        return {(b.index, s) for b in self.blocks for s in b.succs}
+
+    def has_flow(self, pc: int, next_pc: int) -> bool:
+        """Whether the transition ``pc -> next_pc`` is covered by the
+        graph: an intra-block fallthrough, or a block-terminal edge to
+        a successor block's start."""
+        index = self._block_of_pc.get(pc)
+        if index is None:
+            return False
+        block = self.blocks[index]
+        if pc != (block.last.pc or 0):
+            return next_pc == pc + 4
+        return any(self.blocks[s].start == next_pc for s in block.succs)
+
+    # -- reachability, dominators, loops -------------------------------
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def _rpo(self) -> List[int]:
+        """Reverse postorder over reachable blocks (iterative DFS)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        stack: List[Tuple[int, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            node, child = stack[-1]
+            succs = self.blocks[node].succs
+            if child < len(succs):
+                stack[-1] = (node, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(node)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def dominators(self) -> List[Set[int]]:
+        """Per-block dominator sets (iterative dataflow over RPO).
+
+        Unreachable blocks get an empty set (dominance is undefined
+        off the entry's reachable region).
+        """
+        if self._doms is not None:
+            return self._doms
+        order = self._rpo()
+        reachable = set(order)
+        every = set(order)
+        doms: List[Set[int]] = [set() for _ in self.blocks]
+        for index in order:
+            doms[index] = set(every)
+        doms[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for index in order:
+                if index == self.entry:
+                    continue
+                preds = [p for p in self.blocks[index].preds
+                         if p in reachable]
+                new = set(every)
+                for pred in preds:
+                    new &= doms[pred]
+                if not preds:
+                    new = set()
+                new.add(index)
+                if new != doms[index]:
+                    doms[index] = new
+                    changed = True
+        self._doms = doms
+        return doms
+
+    def natural_loops(self) -> List[Loop]:
+        """Natural loops from back edges (edges into a dominator)."""
+        doms = self.dominators()
+        loops: List[Loop] = []
+        for block in self.blocks:
+            for succ in block.succs:
+                if succ not in doms[block.index]:
+                    continue
+                body = {succ, block.index}
+                stack = [block.index]
+                while stack:
+                    node = stack.pop()
+                    if node == succ:
+                        continue
+                    for pred in self.blocks[node].preds:
+                        if pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append(Loop(header=succ,
+                                  back_edge_source=block.index,
+                                  body=frozenset(body)))
+        return loops
+
+
+def _text_symbols(program: Program) -> List[int]:
+    """Symbol addresses that land inside the text segment."""
+    return sorted({addr for addr in program.symbols.values()
+                   if program.contains_pc(addr)})
+
+
+def _return_sites(program: Program) -> List[int]:
+    """Addresses following every call — where a ``JR $ra`` may land."""
+    sites = []
+    for instr in program.instructions:
+        if instr.op in (Op.JAL, Op.JALR):
+            site = (instr.pc or 0) + 4
+            if program.contains_pc(site):
+                sites.append(site)
+    return sites
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the over-approximate CFG of *program*.
+
+    Raises:
+        ValueError: for an empty program (no instructions to anchor
+            an entry block on).
+    """
+    if not program.instructions:
+        raise ValueError("cannot build a CFG for an empty program")
+    entry_pc = program.entry if program.entry is not None \
+        else program.text_base
+    if not program.contains_pc(entry_pc):
+        entry_pc = program.text_base
+
+    bad_targets: List[Tuple[int, int]] = []
+    # text_base anchors the block partition so every instruction lands
+    # in exactly one block even when the entry symbol sits mid-text.
+    leaders: Set[int] = {entry_pc, program.text_base}
+    for instr in program.instructions:
+        pc = instr.pc or 0
+        target = direct_target(instr)
+        if target is not None:
+            if program.contains_pc(target):
+                leaders.add(target)
+            else:
+                bad_targets.append((pc, target))
+        if instr.is_ctrl() and program.contains_pc(pc + 4):
+            leaders.add(pc + 4)
+    symbol_starts = _text_symbols(program)
+    leaders.update(symbol_starts)
+    return_sites = _return_sites(program)
+    leaders.update(return_sites)
+
+    starts = sorted(leaders)
+    bounds = starts[1:] + [program.text_end]
+    blocks: List[BasicBlock] = []
+    start_index: Dict[int, int] = {}
+    for index, (start, stop) in enumerate(zip(starts, bounds)):
+        instrs = [program.instr_at(pc) for pc in range(start, stop, 4)]
+        blocks.append(BasicBlock(index=index, start=start, instrs=instrs))
+        start_index[start] = index
+
+    def link(src: BasicBlock, target_pc: int) -> None:
+        dst = start_index.get(target_pc)
+        if dst is not None and dst not in src.succs:
+            src.succs.append(dst)
+
+    for block in blocks:
+        last = block.last
+        pc = last.pc or 0
+        op = last.op
+        if last.is_cond_branch():
+            target = direct_target(last)
+            if target is not None and program.contains_pc(target):
+                link(block, target)
+            link(block, pc + 4)
+        elif op in (Op.J, Op.JAL):
+            target = direct_target(last)
+            if target is not None and program.contains_pc(target):
+                link(block, target)
+        elif last.is_return():
+            for site in return_sites:
+                link(block, site)
+        elif op is Op.JR or op is Op.JALR:
+            # Indirect transfer through a register: over-approximate
+            # with every labelled text address (jump-table entries are
+            # label words the assembler resolved through symbols).
+            for addr in symbol_starts:
+                link(block, addr)
+        elif op is Op.HALT:
+            pass                       # program exit: no successors
+        else:
+            # Plain fallthrough (including SYSCALL, which may exit at
+            # run time — the untaken edge only over-approximates).
+            if program.contains_pc(pc + 4):
+                link(block, pc + 4)
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.index)
+
+    return ControlFlowGraph(program, blocks, start_index[entry_pc],
+                            bad_targets)
+
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "Loop", "build_cfg",
+           "direct_target"]

@@ -1,0 +1,136 @@
+"""Workload lint: structural sanity checks over the static CFG.
+
+Four rules, each an honest whole-program property of the assembled
+image (no execution involved):
+
+* ``bad-branch-target`` (error) — a direct branch or jump whose target
+  lies outside the text segment or off instruction alignment.
+* ``undefined-read`` (error) — a register read with *no* reaching
+  definition on any CFG path from entry (the loader only initialises
+  ``$zero``/``$gp``/``$sp``). Because the CFG over-approximates paths,
+  extra edges can only *add* definitions: a report here is a
+  definition-free read on every real path too.
+* ``unreachable-block`` (warning) — a block no over-approximate path
+  from entry reaches. Warning severity: dead code is suspicious in a
+  tuned synthetic workload but breaks nothing.
+* ``dead-write`` (warning) — a register written but never live
+  afterwards. Warning severity: the over-approximate CFG *under*\\-
+  states deadness never, but ABI-style bookkeeping (saving a register
+  that is only conditionally reused) is legitimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.static.cfg import ControlFlowGraph
+from repro.analysis.static.dataflow import (
+    Liveness,
+    ReachingDefinitions,
+    instr_uses,
+    solve,
+)
+from repro.isa.registers import reg_name
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One lint diagnosis, anchored to an instruction address."""
+
+    rule: str
+    severity: str
+    pc: Optional[int]
+    message: str
+
+    def render(self) -> str:
+        where = f"{self.pc:#x}: " if self.pc is not None else ""
+        return f"[{self.severity}] {where}{self.rule}: {self.message}"
+
+
+def lint_program(cfg: ControlFlowGraph) -> List[LintFinding]:
+    """Run every rule over *cfg*; findings sorted by address."""
+    findings: List[LintFinding] = []
+    findings.extend(_bad_branch_targets(cfg))
+    reachable = cfg.reachable()
+    findings.extend(_unreachable_blocks(cfg, reachable))
+    findings.extend(_undefined_reads(cfg, reachable))
+    findings.extend(_dead_writes(cfg, reachable))
+    findings.sort(key=lambda f: (f.pc if f.pc is not None else -1, f.rule))
+    return findings
+
+
+def lint_counts(findings: List[LintFinding]) -> Dict[str, int]:
+    """Per-rule finding counts (the CI baseline's unit of regression)."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts
+
+
+def _bad_branch_targets(cfg: ControlFlowGraph) -> List[LintFinding]:
+    out = []
+    for pc, target in cfg.bad_targets:
+        kind = ("misaligned" if target % 4 else "out-of-text")
+        out.append(LintFinding(
+            rule="bad-branch-target", severity=ERROR, pc=pc,
+            message=f"transfer targets {target:#x} ({kind})"))
+    return out
+
+
+def _unreachable_blocks(cfg: ControlFlowGraph,
+                        reachable: set) -> List[LintFinding]:
+    out = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            out.append(LintFinding(
+                rule="unreachable-block", severity=WARNING,
+                pc=block.start,
+                message=f"{len(block.instrs)}-instruction block is "
+                        f"unreachable from entry"))
+    return out
+
+
+def _undefined_reads(cfg: ControlFlowGraph,
+                     reachable: set) -> List[LintFinding]:
+    reaching = solve(cfg, ReachingDefinitions())
+    out = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue                 # values there are vacuous
+        values = reaching.instr_values(block.index)
+        for instr, reach in zip(block.instrs, values):
+            for reg in instr_uses(instr):
+                if reg not in reach:
+                    out.append(LintFinding(
+                        rule="undefined-read", severity=ERROR,
+                        pc=instr.pc,
+                        message=f"reads ${reg_name(reg)} which no "
+                                f"path defines"))
+    return out
+
+
+def _dead_writes(cfg: ControlFlowGraph,
+                 reachable: set) -> List[LintFinding]:
+    liveness = solve(cfg, Liveness())
+    out = []
+    for block in cfg.blocks:
+        if block.index not in reachable:
+            continue
+        values = liveness.instr_values(block.index)
+        for instr, live_after in zip(block.instrs, values):
+            dest = instr.dest()
+            if dest is None or (live_after >> dest) & 1:
+                continue
+            out.append(LintFinding(
+                rule="dead-write", severity=WARNING, pc=instr.pc,
+                message=f"writes ${reg_name(dest)} but the value is "
+                        f"never read"))
+    return out
+
+
+__all__ = ["ERROR", "WARNING", "LintFinding", "lint_counts",
+           "lint_program"]

@@ -16,6 +16,11 @@ Commands:
 * ``verify-traces [BENCH ...]`` — replay benchmarks with online
   segment verification (see ``docs/verification.md``); exits nonzero
   on any invariant or equivalence violation.
+* ``analyze [BENCH ...]`` — static analysis (CFG, dataflow, fill-unit
+  opportunity bounds, workload lint; see ``docs/static-analysis.md``);
+  ``--baseline`` gates lint counts against a checked-in baseline and
+  ``--cross-check`` validates the dynamic optimizers against the
+  static opportunity oracle.
 * ``asm FILE`` — assemble and run an assembly file (functionally, and
   optionally through the timing model).
 """
@@ -305,6 +310,119 @@ def cmd_verify_traces(args) -> int:
     return 1 if total_errors else 0
 
 
+def cmd_analyze(args) -> int:
+    """Statically analyze workloads: CFG/loop shape, fill-unit
+    opportunity bounds, and lint findings. Optionally compare lint
+    counts against a checked-in baseline and cross-check the dynamic
+    optimizers against the static opportunity oracle; exits nonzero
+    on lint errors, baseline regressions or oracle violations."""
+    import json
+
+    from repro.analysis.static import analyze_program
+    from repro.core.export import ANALYSIS_SCHEMA_VERSION, analysis_to_dict
+
+    names = args.benchmarks or workloads.names()
+    unknown = [n for n in names if n not in workloads.names()]
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}")
+        return 2
+
+    reports = {}
+    failures = []
+    for name in names:
+        program = workloads.build(name, args.scale)
+        report = analyze_program(program, name,
+                                 max_shift=args.max_shift)
+        reports[name] = report
+        print(report.summary())
+        for finding in report.lint[:args.show]:
+            print(f"    {finding.render()}")
+        errors = report.lint_errors()
+        if errors:
+            failures.append(f"{name}: {len(errors)} lint errors")
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump({name: analysis_to_dict(r)
+                       for name, r in reports.items()}, handle, indent=1)
+        print(f"wrote {len(reports)} analysis reports to {args.json}")
+
+    baseline_payload = {
+        "schema": ANALYSIS_SCHEMA_VERSION,
+        "scale": args.scale,
+        "benchmarks": {
+            name: {"lint": report.lint_rule_counts(),
+                   "sites": report.static_bounds()}
+            for name, report in reports.items()
+        },
+    }
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            json.dump(baseline_payload, handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline for {len(reports)} benchmarks to "
+              f"{args.write_baseline}")
+    elif args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        if baseline.get("scale") != args.scale:
+            print(f"baseline was recorded at scale "
+                  f"{baseline.get('scale')} but this run used "
+                  f"{args.scale}; re-run with the matching --scale")
+            return 2
+        for name, report in reports.items():
+            recorded = baseline.get("benchmarks", {}).get(name)
+            if recorded is None:
+                print(f"  {name}: not in baseline (new benchmark?)")
+                continue
+            old_lint = recorded.get("lint", {})
+            new_lint = report.lint_rule_counts()
+            for rule in sorted(set(new_lint) | set(old_lint)):
+                new_n = new_lint.get(rule, 0)
+                old_n = old_lint.get(rule, 0)
+                if new_n > old_n:
+                    failures.append(
+                        f"{name}: lint rule '{rule}' regressed "
+                        f"{old_n} -> {new_n}")
+            old_sites = recorded.get("sites", {})
+            new_sites = report.static_bounds()
+            drift = {k: (old_sites.get(k), v)
+                     for k, v in new_sites.items()
+                     if old_sites.get(k) != v}
+            if drift:
+                print(f"  {name}: site counts drifted vs baseline: "
+                      f"{drift} (informational)")
+
+    if args.cross_check:
+        from repro.errors import ConfigError
+        from repro.harness.crosscheck import cross_check
+        config = SimConfig.paper(_opt_config(args.opts),
+                                 args.fill_latency)
+        print()
+        for name in names:
+            program = workloads.build(name, args.scale)
+            trace = Simulator(config).trace_program(program)
+            try:
+                check = cross_check(reports[name], trace, config,
+                                    name, args.opts)
+            except ConfigError as exc:
+                print(f"cross-check: {exc}")
+                return 2
+            print(check.render())
+            if not check.ok:
+                failures.append(
+                    f"{name}: {len(check.violations)} oracle "
+                    f"violations")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    return 0
+
+
 def cmd_asm(args) -> int:
     from repro.asm import assemble
     from repro.machine.executor import Executor
@@ -388,6 +506,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sample violation messages to print "
                             "(default 5)")
     p_ver.set_defaults(func=cmd_verify_traces)
+
+    p_ana = sub.add_parser(
+        "analyze",
+        help="static CFG/dataflow analysis, opportunity bounds, lint")
+    p_ana.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       help="benchmarks to analyze (default: all)")
+    _add_common(p_ana)
+    p_ana.add_argument("--max-shift", type=int, default=3,
+                       help="largest SLL amount counted as a scaled-add "
+                            "opportunity (default 3)")
+    p_ana.add_argument("--json", metavar="FILE",
+                       help="write full analysis reports to FILE")
+    p_ana.add_argument("--baseline", metavar="FILE",
+                       help="fail if lint counts regress vs this "
+                            "baseline JSON")
+    p_ana.add_argument("--write-baseline", metavar="FILE",
+                       help="record the current lint/site counts as "
+                            "the new baseline")
+    p_ana.add_argument("--cross-check", action="store_true",
+                       help="simulate each benchmark and check dynamic "
+                            "transformed PCs against the static bounds")
+    p_ana.add_argument("--show", type=int, default=10,
+                       help="lint findings to print per benchmark "
+                            "(default 10)")
+    p_ana.set_defaults(func=cmd_analyze)
 
     p_asm = sub.add_parser("asm", help="assemble and run a .s file")
     p_asm.add_argument("file")

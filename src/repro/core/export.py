@@ -1,7 +1,9 @@
-"""Result serialization: SimResult -> JSON and back.
+"""Result serialization: SimResult / AnalysisReport -> JSON and back.
 
 Lets runs be archived and diffed across code versions
-(``tools/compare_runs.py``), and feeds external plotting.
+(``tools/compare_runs.py``), feeds external plotting, and carries the
+static analyzer's reports into the CI baseline
+(``tools/analysis_baseline.json``).
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from typing import Optional
 from repro.core.results import OptCoverage, SimResult
 
 SCHEMA_VERSION = 1
+ANALYSIS_SCHEMA_VERSION = 1
 
 
 def result_to_dict(result: SimResult) -> dict:
@@ -75,5 +78,38 @@ def diff_results(old: SimResult, new: SimResult,
             f"{old.ipc:.3f} -> {new.ipc:.3f} ({drift:+.1f}%)")
 
 
+def analysis_to_dict(report) -> dict:
+    """A JSON-safe dict of one :class:`~repro.analysis.static.report.
+    AnalysisReport` (schema-versioned)."""
+    payload = asdict(report)
+    payload["schema"] = ANALYSIS_SCHEMA_VERSION
+    payload["derived"] = {
+        "static_bounds": report.static_bounds(),
+        "lint_rule_counts": report.lint_rule_counts(),
+        "lint_errors": len(report.lint_errors()),
+        "lint_warnings": len(report.lint_warnings()),
+    }
+    return payload
+
+
+def analysis_from_dict(payload: dict):
+    """Rebuild an ``AnalysisReport`` from :func:`analysis_to_dict`.
+
+    Raises:
+        ValueError: on an unknown schema version.
+    """
+    from repro.analysis.static.lint import LintFinding
+    from repro.analysis.static.report import AnalysisReport
+    if payload.get("schema") != ANALYSIS_SCHEMA_VERSION:
+        raise ValueError(
+            f"unknown analysis schema {payload.get('schema')!r}")
+    data = {k: v for k, v in payload.items()
+            if k not in ("schema", "derived")}
+    data["lint"] = [LintFinding(**f) for f in data.get("lint", [])]
+    return AnalysisReport(**data)
+
+
 __all__ = ["result_to_dict", "result_from_dict", "dump_results",
-           "load_results", "diff_results", "SCHEMA_VERSION"]
+           "load_results", "diff_results", "SCHEMA_VERSION",
+           "analysis_to_dict", "analysis_from_dict",
+           "ANALYSIS_SCHEMA_VERSION"]

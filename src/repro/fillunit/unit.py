@@ -70,6 +70,12 @@ class FillUnit:
         self.stats = FillUnitStats()
         self.registry = registry
         self.events = events
+        #: optional {"moves"|"reassoc"|"scaled": set of PCs} sink; when
+        #: set (by the harness cross-checker), every built segment's
+        #: transformed instruction addresses are recorded per opt
+        #: class. Plain Python bookkeeping outside the timing model:
+        #: modelled cycle counts are unaffected.
+        self.opt_site_log = None
         if registry is not None:
             self._m_built = registry.counter("fillunit.segments.built")
             self._m_deduped = registry.counter("fillunit.segments.deduped")
@@ -124,6 +130,15 @@ class FillUnit:
         self.passes.run(segment, cycle)
         if segment.deps is None:
             segment.deps = mark_dependencies(segment.instrs)
+        log = self.opt_site_log
+        if log is not None:
+            for instr in segment.instrs:
+                if instr.move_flag:
+                    log["moves"].add(instr.pc)
+                if instr.reassociated:
+                    log["reassoc"].add(instr.pc)
+                if instr.scale is not None:
+                    log["scaled"].add(instr.pc)
         if self.verifier is not None:
             self._verify(original, segment, cycle)
         return segment

@@ -7,13 +7,17 @@ so optimized trace segments can be dumped readably.
 
 from __future__ import annotations
 
+from typing import Iterable, Optional
+
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Format, op_info
 from repro.isa.registers import reg_name
 
 
-def _r(num: int) -> str:
-    return f"${reg_name(num)}"
+def _r(num: Optional[int]) -> str:
+    """Register operand as text; ``$?`` for an unpopulated slot (which
+    the decoder never produces but a hand-built Instruction may)."""
+    return "$?" if num is None else f"${reg_name(num)}"
 
 
 def disassemble(instr: Instruction, show_annotations: bool = True) -> str:
@@ -69,7 +73,7 @@ def disassemble(instr: Instruction, show_annotations: bool = True) -> str:
     return body
 
 
-def dump_listing(instrs, base_pc: int = 0) -> str:
+def dump_listing(instrs: Iterable[Instruction], base_pc: int = 0) -> str:
     """Render a sequence of instructions as an address-annotated listing."""
     lines = []
     for idx, instr in enumerate(instrs):

@@ -14,10 +14,13 @@ information needed by the memory scheduler).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.isa.opcodes import Format, Op, OpClass, op_info
+from repro.isa.opcodes import Format, Op, OpClass, OpInfo, op_info
 from repro.isa.registers import ZERO_REG
+
+#: an operand tuple before ``None`` (unused-slot) filtering.
+_RawRegs = Tuple[Optional[int], ...]
 
 
 @dataclass(frozen=True)
@@ -89,7 +92,7 @@ class Instruction:
     # ------------------------------------------------------------------
 
     @property
-    def info(self):
+    def info(self) -> OpInfo:
         return op_info(self.op)
 
     @property
@@ -124,6 +127,7 @@ class Instruction:
             src = move_source(self)
             return () if src is None else (src,)
         fmt = self.format
+        base: _RawRegs
         if fmt in (Format.R3, Format.LOADX, Format.BR2):
             base = (self.rs, self.rt)
         elif fmt in (Format.R2I, Format.SHIFT, Format.LOAD, Format.JR,
@@ -140,26 +144,28 @@ class Instruction:
         if self.guard is not None:
             # A guarded instruction also reads its guard register and
             # its own destination (the value kept when the guard fails).
-            extra = (self.guard.reg,)
+            extra: _RawRegs = (self.guard.reg,)
             dest = self.dest()
             if dest is not None:
                 extra += (dest,)
             base = tuple(base) + extra
         return tuple(reg for reg in base if reg is not None)
 
-    def _scaled(self, base: tuple) -> tuple:
+    def _scaled(self, base: _RawRegs) -> _RawRegs:
         """Replace the ``rs`` operand slot with the scale source.
 
         The ``rs`` slot is positionally fixed per format: index 0 for
         R3/LOADX/R2I-like tuples, index 1 for STOREX (whose first source
         is the store value carried in ``rd``).
         """
+        scale = self.scale
+        assert scale is not None
         out = list(base)
         slot = 1 if self.format is Format.STOREX else 0
-        out[slot] = self.scale.src
+        out[slot] = scale.src
         return tuple(out)
 
-    def mem_split(self):
+    def mem_split(self) -> Tuple[_RawRegs, Optional[int]]:
         """For memory instructions: ``(address_regs, store_value_reg)``.
 
         Address registers honour a scale annotation; the store value

@@ -91,7 +91,7 @@ def _rs_value(instr: Instruction, read: ReadReg) -> int:
     """
     if instr.scale is not None:
         return to_s32(read(instr.scale.src) << instr.scale.shamt)
-    return to_s32(read(instr.rs))
+    return to_s32(read(instr.rs or 0))
 
 
 def evaluate(instr: Instruction, read: ReadReg) -> Effect:
@@ -124,48 +124,50 @@ def evaluate(instr: Instruction, read: ReadReg) -> Effect:
 
     if op in _ALU3:
         a = _rs_value(instr, read)
-        b = to_s32(read(instr.rt))
+        b = to_s32(read(instr.rt or 0))
         return Effect(dest=instr.dest(), value=_ALU3[op](a, b))
     if op in _ALUI:
         a = _rs_value(instr, read)
-        return Effect(dest=instr.dest(), value=_ALUI[op](a, instr.imm))
+        return Effect(dest=instr.dest(), value=_ALUI[op](a, instr.imm or 0))
     if op in (Op.SLL, Op.SRL, Op.SRA):
-        a = to_s32(read(instr.rs))
+        a = to_s32(read(instr.rs or 0))
         return Effect(dest=instr.dest(),
-                      value=_shift(op, a, instr.imm & 0x1F))
+                      value=_shift(op, a, (instr.imm or 0) & 0x1F))
     if op in (Op.SLLV, Op.SRLV, Op.SRAV):
-        a = to_s32(read(instr.rs))
-        amount = read(instr.rt) & 0x1F
+        a = to_s32(read(instr.rs or 0))
+        amount = read(instr.rt or 0) & 0x1F
         base = {Op.SLLV: Op.SLL, Op.SRLV: Op.SRL, Op.SRAV: Op.SRA}[op]
         return Effect(dest=instr.dest(), value=_shift(base, a, amount))
     if op is Op.LUI:
         return Effect(dest=instr.dest(),
-                      value=to_s32((instr.imm & 0xFFFF) << 16))
+                      value=to_s32(((instr.imm or 0) & 0xFFFF) << 16))
 
     if op in _LOAD_SIZES:
         size, signed = _LOAD_SIZES[op]
         if op in (Op.LWX, Op.LBX):
-            addr = to_u32(_rs_value(instr, read) + to_s32(read(instr.rt)))
+            addr = to_u32(_rs_value(instr, read)
+                          + to_s32(read(instr.rt or 0)))
         else:
-            addr = to_u32(_rs_value(instr, read) + instr.imm)
+            addr = to_u32(_rs_value(instr, read) + (instr.imm or 0))
         return Effect(dest=instr.dest(),
                       mem=MemOp(False, addr, size, signed))
     if op in _STORE_SIZES:
         size = _STORE_SIZES[op]
         if op in (Op.SWX, Op.SBX):
-            addr = to_u32(_rs_value(instr, read) + to_s32(read(instr.rt)))
-            value = to_u32(read(instr.rd))
+            addr = to_u32(_rs_value(instr, read)
+                          + to_s32(read(instr.rt or 0)))
+            value = to_u32(read(instr.rd or 0))
         else:
-            addr = to_u32(_rs_value(instr, read) + instr.imm)
-            value = to_u32(read(instr.rt))
+            addr = to_u32(_rs_value(instr, read) + (instr.imm or 0))
+            value = to_u32(read(instr.rt or 0))
         return Effect(mem=MemOp(True, addr, size, False, value))
 
     if op in (Op.BEQ, Op.BNE, Op.BLEZ, Op.BGTZ, Op.BLTZ, Op.BGEZ):
-        a = to_s32(read(instr.rs))
+        a = to_s32(read(instr.rs or 0))
         if op is Op.BEQ:
-            taken = a == to_s32(read(instr.rt))
+            taken = a == to_s32(read(instr.rt or 0))
         elif op is Op.BNE:
-            taken = a != to_s32(read(instr.rt))
+            taken = a != to_s32(read(instr.rt or 0))
         elif op is Op.BLEZ:
             taken = a <= 0
         elif op is Op.BGTZ:
@@ -174,18 +176,23 @@ def evaluate(instr: Instruction, read: ReadReg) -> Effect:
             taken = a < 0
         else:
             taken = a >= 0
-        target = to_u32(pc + instr.imm) if taken else to_u32(pc + 4)
+        target = (to_u32(pc + (instr.imm or 0)) if taken
+                  else to_u32(pc + 4))
         return Effect(is_ctrl=True, taken=taken, target=target)
     if op is Op.J:
-        return Effect(is_ctrl=True, taken=True, target=to_u32(instr.imm))
+        return Effect(is_ctrl=True, taken=True,
+                      target=to_u32(instr.imm or 0))
     if op is Op.JAL:
         return Effect(dest=31, value=to_s32(pc + 4),
-                      is_ctrl=True, taken=True, target=to_u32(instr.imm))
+                      is_ctrl=True, taken=True,
+                      target=to_u32(instr.imm or 0))
     if op is Op.JR:
-        return Effect(is_ctrl=True, taken=True, target=to_u32(read(instr.rs)))
+        return Effect(is_ctrl=True, taken=True,
+                      target=to_u32(read(instr.rs or 0)))
     if op is Op.JALR:
         return Effect(dest=instr.dest(), value=to_s32(pc + 4),
-                      is_ctrl=True, taken=True, target=to_u32(read(instr.rs)))
+                      is_ctrl=True, taken=True,
+                      target=to_u32(read(instr.rs or 0)))
 
     raise ExecutionError(f"no semantics for opcode {op.name}")
 

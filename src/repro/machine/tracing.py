@@ -64,5 +64,12 @@ class CommittedTrace:
     def conditional_branch_count(self) -> int:
         return sum(1 for r in self.records if r.instr.is_cond_branch())
 
+    def executed_edges(self) -> set:
+        """Distinct executed control transitions as ``(pc, next_pc)``
+        pairs. The halt self-transition (``next_pc == pc``) is
+        excluded: it marks program exit, not a flow edge."""
+        return {(r.pc, r.next_pc) for r in self.records
+                if r.next_pc != r.pc}
+
 
 __all__ = ["CommittedInstr", "CommittedTrace"]

@@ -16,6 +16,17 @@ def test_geometric_mean():
     assert geometric_mean([4]) == pytest.approx(4.0)
 
 
+def test_geometric_mean_no_overflow_on_long_large_inputs():
+    """A running-product implementation hits inf (or 0.0) long before
+    the true mean leaves float range; mean-of-logs must not."""
+    big = geometric_mean([1e300] * 100)
+    assert big == pytest.approx(1e300, rel=1e-9)
+    small = geometric_mean([1e-300] * 100)
+    assert small == pytest.approx(1e-300, rel=1e-9)
+    mixed = geometric_mean([1e300, 1e-300] * 50)
+    assert mixed == pytest.approx(1.0, rel=1e-9)
+
+
 def test_harmonic_mean():
     assert harmonic_mean([1, 1]) == pytest.approx(1.0)
     assert harmonic_mean([2, 6]) == pytest.approx(3.0)

@@ -69,3 +69,74 @@ def test_unknown_benchmark_rejected():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_analyze(capsys):
+    code, out = run_cli(capsys, "analyze", "compress", "li",
+                        "--scale", "0.2")
+    assert code == 0
+    assert "compress" in out and "li" in out
+    assert "0 errors, 0 warnings" in out
+
+
+def test_analyze_unknown_benchmark(capsys):
+    code, out = run_cli(capsys, "analyze", "doom")
+    assert code == 2
+    assert "unknown benchmark" in out
+
+
+def test_analyze_baseline_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--write-baseline", str(baseline))
+    assert code == 0 and baseline.exists()
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--baseline", str(baseline))
+    assert code == 0
+    # A scale mismatch makes the comparison meaningless: usage error.
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.3",
+                        "--baseline", str(baseline))
+    assert code == 2
+    assert "matching --scale" in out
+
+
+def test_analyze_baseline_regression_fails(tmp_path, capsys):
+    import json
+    baseline = tmp_path / "baseline.json"
+    run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+            "--write-baseline", str(baseline))
+    payload = json.loads(baseline.read_text())
+    # Pretend the baseline had even fewer findings than now (any new
+    # finding relative to the recorded counts must fail the gate).
+    payload["benchmarks"]["compress"]["lint"] = {}
+    recorded = payload["benchmarks"]["compress"]
+    recorded["lint"] = {}
+    baseline.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--baseline", str(baseline))
+    # The workloads are lint-clean, so nothing regresses even against
+    # an empty record; force a fake regression instead.
+    assert code == 0
+    recorded["lint"] = {"dead-write": -1}
+    baseline.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--baseline", str(baseline))
+    assert code == 1
+    assert "regressed" in out and "FAIL" in out
+
+
+def test_analyze_cross_check(capsys):
+    code, out = run_cli(capsys, "analyze", "compress",
+                        "--scale", "0.2", "--cross-check")
+    assert code == 0
+    assert "OK" in out and "dynamic" in out
+
+
+def test_analyze_json_export(tmp_path, capsys):
+    import json
+    out_file = tmp_path / "reports.json"
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--json", str(out_file))
+    assert code == 0
+    payload = json.loads(out_file.read_text())
+    assert payload["compress"]["derived"]["lint_errors"] == 0

@@ -93,3 +93,22 @@ def test_checkpoint_sweep_monotone(runner):
     # more checkpoints never slow the baseline machine
     assert all(p[0] >= s[0] - 1e-9
                for s, p in zip(scarce_pairs, plenty_pairs))
+
+
+def test_analysis_report_roundtrip():
+    from repro import workloads
+    from repro.analysis.static import analyze_program
+    from repro.core.export import analysis_from_dict, analysis_to_dict
+
+    report = analyze_program(workloads.build("compress", 0.2),
+                             "compress")
+    payload = analysis_to_dict(report)
+    assert payload["derived"]["static_bounds"] == report.static_bounds()
+    rebuilt = analysis_from_dict(payload)
+    assert rebuilt == report
+
+
+def test_analysis_schema_version_checked():
+    from repro.core.export import analysis_from_dict
+    with pytest.raises(ValueError):
+        analysis_from_dict({"schema": 999})

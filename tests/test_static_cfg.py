@@ -1,0 +1,184 @@
+"""Static CFG construction: blocks, edges, dominators, loops."""
+
+import pytest
+
+from repro.analysis.static.cfg import build_cfg, direct_target
+from repro.asm import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.program.image import Program
+
+DIAMOND = """
+main:
+    li   $t0, 1
+    beq  $t0, $zero, other
+    addi $t1, $t0, 1
+    j    join
+other:
+    addi $t1, $t0, 2
+join:
+    add  $a0, $t1, $zero
+    li   $v0, 1
+    syscall
+    halt
+"""
+
+
+@pytest.fixture
+def diamond():
+    return build_cfg(assemble(DIAMOND))
+
+
+def _index_at(cfg, label):
+    return cfg.block_starting(cfg.program.symbols[label]).index
+
+
+def test_diamond_blocks_and_edges(diamond):
+    cfg = diamond
+    program = cfg.program
+    # Leaders: main, the fallthrough after beq, other, join, and the
+    # fallthroughs after j/syscall (join itself; the post-syscall li).
+    entry = cfg.blocks[cfg.entry]
+    assert entry.start == program.symbols["main"]
+    assert entry.last.op is Op.BEQ
+    then_index = entry.succs
+    other = _index_at(cfg, "other")
+    join = _index_at(cfg, "join")
+    # The branch has exactly two successors: taken and fallthrough.
+    assert other in then_index and len(then_index) == 2
+    fallthrough = next(s for s in then_index if s != other)
+    assert cfg.blocks[fallthrough].last.op is Op.J
+    # Both arms rejoin.
+    assert join in cfg.blocks[fallthrough].succs
+    assert join in cfg.blocks[other].succs
+    # Every instruction is in exactly one block.
+    counted = sum(len(b.instrs) for b in cfg.blocks)
+    assert counted == len(program.instructions)
+
+
+def test_diamond_dominators_and_no_loops(diamond):
+    cfg = diamond
+    doms = cfg.dominators()
+    join = _index_at(cfg, "join")
+    other = _index_at(cfg, "other")
+    # Neither arm dominates the join point; the entry does.
+    assert cfg.entry in doms[join]
+    assert other not in doms[join]
+    assert doms[cfg.entry] == {cfg.entry}
+    assert cfg.natural_loops() == []
+
+
+def test_loop_detection():
+    cfg = build_cfg(assemble("""
+main:
+    li   $t0, 10
+    add  $t1, $zero, $zero
+loop:
+    add  $t1, $t1, $t0
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    add  $a0, $t1, $zero
+    li   $v0, 1
+    syscall
+    halt
+"""))
+    loops = cfg.natural_loops()
+    assert len(loops) == 1
+    loop = loops[0]
+    header = cfg.blocks[loop.header]
+    assert header.start == cfg.program.symbols["loop"]
+    # The single-block loop body closes on itself.
+    assert loop.back_edge_source == loop.header
+    assert loop.body == frozenset({loop.header})
+
+
+def test_call_and_return_edges():
+    cfg = build_cfg(assemble("""
+main:
+    jal  helper
+    add  $a0, $v0, $zero
+    li   $v0, 1
+    syscall
+    halt
+helper:
+    li   $v0, 7
+    jr   $ra
+"""))
+    program = cfg.program
+    helper = cfg.block_starting(program.symbols["helper"])
+    entry = cfg.blocks[cfg.entry]
+    # The call edges into the callee, not past it.
+    assert helper.index in entry.succs
+    # The callee's return block edges back to the call return site.
+    ret_block = cfg.block_of(program.symbols["helper"] + 4)
+    return_site = program.symbols["main"] + 4
+    assert any(cfg.blocks[s].start == return_site
+               for s in ret_block.succs)
+
+
+def test_unreachable_block_detected():
+    cfg = build_cfg(assemble("""
+main:
+    halt
+dead:
+    addi $t0, $zero, 1
+    halt
+"""))
+    reachable = cfg.reachable()
+    dead = cfg.block_starting(cfg.program.symbols["dead"])
+    assert dead.index not in reachable
+    assert cfg.entry in reachable
+
+
+def test_has_flow_intra_block_and_terminal(diamond):
+    cfg = diamond
+    entry = cfg.blocks[cfg.entry]
+    first_pc = entry.instrs[0].pc
+    # Mid-block: only pc+4 is flow.
+    assert cfg.has_flow(first_pc, first_pc + 4)
+    assert not cfg.has_flow(first_pc, first_pc + 8)
+    # Terminal: both branch arms are flow, a random address is not.
+    branch_pc = entry.last.pc
+    assert cfg.has_flow(branch_pc, cfg.program.symbols["other"])
+    assert cfg.has_flow(branch_pc, branch_pc + 4)
+    assert not cfg.has_flow(branch_pc, cfg.program.symbols["join"])
+    # An address outside the program has no flow at all.
+    assert not cfg.has_flow(0xDEAD0000, 0xDEAD0004)
+
+
+def test_bad_target_recorded_not_linked():
+    program = Program(instructions=[
+        Instruction(Op.BEQ, rs=8, rt=0, imm=0x5000),
+        Instruction(Op.HALT),
+    ])
+    cfg = build_cfg(program)
+    (pc, target), = cfg.bad_targets
+    assert pc == program.text_base
+    assert target == program.text_base + 0x5000
+    # No edge was created for the bogus target; the fallthrough stays.
+    entry = cfg.blocks[cfg.entry]
+    assert [cfg.blocks[s].start for s in entry.succs] \
+        == [program.text_base + 4]
+
+
+def test_direct_target_kinds():
+    branch = Instruction(Op.BNE, rs=8, rt=9, imm=-8, pc=0x1010)
+    assert direct_target(branch) == 0x1008
+    jump = Instruction(Op.J, imm=0x1400, pc=0x1010)
+    assert direct_target(jump) == 0x1400
+    assert direct_target(Instruction(Op.JR, rs=31, pc=0x1010)) is None
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ValueError):
+        build_cfg(Program(instructions=[]))
+
+
+def test_workload_cfgs_are_total():
+    """Every registered workload partitions cleanly into blocks."""
+    from repro import workloads
+    for name in workloads.names():
+        program = workloads.build(name, 0.2)
+        cfg = build_cfg(program)
+        assert sum(len(b.instrs) for b in cfg.blocks) == len(program)
+        assert not cfg.bad_targets

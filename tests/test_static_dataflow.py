@@ -1,0 +1,124 @@
+"""The iterative dataflow framework: reaching defs, liveness, chains."""
+
+from repro.analysis.static.cfg import build_cfg
+from repro.analysis.static.dataflow import (
+    ENTRY_DEF,
+    Liveness,
+    ReachingDefinitions,
+    def_use_chains,
+    instr_defs,
+    instr_uses,
+    solve,
+)
+from repro.asm import assemble
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+T0, T1, A0, V0 = 8, 9, 4, 2
+
+MERGE = """
+main:
+    li   $t0, 1
+    beq  $t0, $zero, other
+    addi $t1, $t0, 1
+    j    join
+other:
+    addi $t1, $t0, 2
+join:
+    add  $a0, $t1, $zero
+    li   $v0, 1
+    syscall
+    halt
+"""
+
+
+def _instr_value(cfg, result, pc):
+    block = cfg.block_of(pc)
+    offset = (pc - block.start) // 4
+    return result.instr_values(block.index)[offset]
+
+
+def test_reaching_defs_merge_at_join():
+    cfg = build_cfg(assemble(MERGE))
+    result = solve(cfg, ReachingDefinitions())
+    join_pc = cfg.program.symbols["join"]
+    reach = _instr_value(cfg, result, join_pc)
+    # $t1 was defined in both arms: two defining PCs survive the join.
+    defs = reach[T1]
+    assert len(defs) == 2
+    arm_ops = {cfg.program.instr_at(pc).op for pc in defs}
+    assert arm_ops == {Op.ADDI}
+
+
+def test_entry_registers_reach_the_first_instruction():
+    cfg = build_cfg(assemble(MERGE))
+    result = solve(cfg, ReachingDefinitions())
+    entry_pc = cfg.blocks[cfg.entry].start
+    reach = _instr_value(cfg, result, entry_pc)
+    for reg in (0, 28, 29):      # $zero, $gp, $sp
+        assert reach[reg] == frozenset({ENTRY_DEF})
+    assert T0 not in reach       # nothing else is defined yet
+
+
+def test_liveness_across_a_branch():
+    cfg = build_cfg(assemble(MERGE))
+    result = solve(cfg, Liveness())
+    # After the first li, $t0 is live: both arms read it.
+    first_pc = cfg.blocks[cfg.entry].start
+    live_after = _instr_value(cfg, result, first_pc)
+    assert (live_after >> T0) & 1
+    # After the final add into $a0, $t0/$t1 are dead but $a0 is live
+    # (the syscall reads it out of band).
+    join_pc = cfg.program.symbols["join"]
+    live_after_add = _instr_value(cfg, result, join_pc)
+    assert (live_after_add >> A0) & 1
+    assert not (live_after_add >> T1) & 1
+
+
+def test_def_use_chains():
+    cfg = build_cfg(assemble(MERGE))
+    chains = def_use_chains(cfg, solve(cfg, ReachingDefinitions()))
+    program = cfg.program
+    # The li $t0 definition feeds the branch and both arms' addis.
+    li_pc = program.symbols["main"]
+    uses = {pc for pc, reg in chains[li_pc] if reg == T0}
+    assert len(uses) == 3
+    # The loader's pseudo-definition has uses too ($zero operands).
+    assert any(reg == 0 for _, reg in chains[ENTRY_DEF])
+
+
+def test_loop_reaches_itself():
+    cfg = build_cfg(assemble("""
+main:
+    li   $t0, 3
+loop:
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+"""))
+    result = solve(cfg, ReachingDefinitions())
+    loop_pc = cfg.program.symbols["loop"]
+    reach = _instr_value(cfg, result, loop_pc)
+    # Around the back edge, the addi's own definition reaches its input
+    # alongside the initial li.
+    assert reach[T0] == frozenset({cfg.program.symbols["main"], loop_pc})
+
+
+def test_instr_defs_and_uses():
+    addi = Instruction(Op.ADDI, rd=T1, rs=T0, imm=4)
+    assert instr_defs(addi) == (T1,)
+    assert instr_uses(addi) == (T0,)
+    # Writes to $zero are discarded, not definitions.
+    assert instr_defs(Instruction(Op.ADDI, rd=0, rs=T0, imm=4)) == ()
+    # Syscalls read their service/argument registers out of band.
+    assert instr_uses(Instruction(Op.SYSCALL)) == (2, 4)
+
+
+def test_backward_direction_instr_values_alignment():
+    """For a backward analysis instr_values()[i] is the value *after*
+    instruction i — the last instruction sees the boundary value."""
+    cfg = build_cfg(assemble("main:\n    addi $t0, $zero, 1\n    halt\n"))
+    result = solve(cfg, Liveness())
+    values = result.instr_values(cfg.entry)
+    assert len(values) == len(cfg.blocks[cfg.entry].instrs)
+    assert values[-1] == 0       # nothing live after halt

@@ -1,0 +1,47 @@
+"""CFG soundness property: executed control flow stays inside the
+static graph.
+
+The CFG deliberately over-approximates (indirect jumps edge to every
+labelled block, returns to every call site); what it must never do is
+*miss* a transition the machine actually takes. This test replays the
+functional executor's committed stream and asserts every observed
+``pc -> next_pc`` transition is covered by :meth:`ControlFlowGraph.
+has_flow` — on the acceptance workloads at full test scale and on all
+fifteen at a smaller one.
+"""
+
+import pytest
+
+from repro import workloads
+from repro.analysis.static.cfg import build_cfg
+from repro.machine.executor import Executor
+
+
+def _missing_edges(name, scale):
+    program = workloads.build(name, scale)
+    cfg = build_cfg(program)
+    trace = Executor(program).run()
+    executed = trace.executed_edges()
+    assert executed, "empty trace cannot witness anything"
+    return [(pc, nxt) for pc, nxt in sorted(executed)
+            if not cfg.has_flow(pc, nxt)]
+
+
+@pytest.mark.parametrize("name", ["compress", "li"])
+def test_every_executed_edge_is_static(name):
+    missing = _missing_edges(name, 0.5)
+    assert missing == [], (
+        f"{name}: executed transitions absent from the static CFG: "
+        + ", ".join(f"{pc:#x}->{nxt:#x}" for pc, nxt in missing[:5]))
+
+
+def test_all_workloads_small_scale():
+    for name in workloads.names():
+        assert _missing_edges(name, 0.2) == [], name
+
+
+def test_executed_edges_excludes_halt_self_loop():
+    program = workloads.build("compress", 0.2)
+    trace = Executor(program).run()
+    for pc, nxt in trace.executed_edges():
+        assert pc != nxt
