@@ -8,6 +8,10 @@ Commands:
 * ``profile BENCH`` — simulate with full telemetry: cycle attribution
   table plus the hierarchical counter snapshot (optionally archived as
   JSONL with ``--telemetry-out``).
+* ``trace BENCH`` — simulate with span tracing and the host-time
+  profiler; writes a Chrome trace-event file (``--out``, loadable at
+  https://ui.perfetto.dev) and optionally an OpenMetrics snapshot
+  (``--metrics-out``) and a host-time profile (``--hostprof-out``).
 * ``compare BENCH`` — baseline vs each optimization vs combined.
 * ``figures`` — regenerate the paper's figures 3-8 (ASCII).
 * ``tables`` — regenerate tables 1-2.
@@ -147,6 +151,56 @@ def cmd_profile(args) -> int:
           f"{len(stream)} retained, {stream.dropped} aged out of the "
           f"ring buffer")
     _close_telemetry(telemetry, sink)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Simulate one benchmark with span tracing + the host-time
+    profiler; export the timeline (and optionally metrics/profile)."""
+    from repro.core.engine import Engine
+    from repro.telemetry import Telemetry
+    from repro.telemetry.exporters import write_chrome_trace
+    from repro.telemetry.hostprof import HostProfiler
+
+    program = workloads.build(args.benchmark, args.scale)
+    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    if args.verify:
+        from dataclasses import replace
+        config = replace(config, verify_fill=True)
+
+    telemetry = Telemetry(spans=True)
+    archive = telemetry.attach_memory()
+    engine = Engine(config, telemetry=telemetry)
+    profiler = HostProfiler()
+    profiler.attach(engine)
+    trace = Simulator(config).trace_program(program)
+    result = engine.run(trace, benchmark=args.benchmark,
+                        label=args.opts)
+
+    print(result.summary())
+    count = write_chrome_trace(
+        args.out, telemetry.spans, events=archive.events,
+        metadata={"benchmark": args.benchmark, "opts": args.opts,
+                  "scale": args.scale, "cycles": result.cycles})
+    recorder = telemetry.spans
+    print(f"wrote {count} trace events ({len(recorder)} spans on "
+          f"tracks: {', '.join(recorder.tracks())}) to {args.out}")
+    print("  open in https://ui.perfetto.dev (pid 1 = simulated "
+          "cycles, pid 2 = host time)")
+    if args.metrics_out:
+        from repro.telemetry.exporters import render_openmetrics
+        with open(args.metrics_out, "w") as handle:
+            handle.write(render_openmetrics(telemetry.registry))
+        print(f"wrote OpenMetrics exposition to {args.metrics_out}")
+    if args.hostprof_out:
+        import json
+        with open(args.hostprof_out, "w") as handle:
+            json.dump(profiler.to_dict(), handle, indent=1,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote host-time profile to {args.hostprof_out}")
+    print()
+    print(profiler.render(f"host-time profile ({args.benchmark})"))
     return 0
 
 
@@ -462,6 +516,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_prof)
     _add_telemetry_out(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate with span tracing; export a Perfetto timeline")
+    p_trace.add_argument("benchmark", choices=workloads.names())
+    _add_common(p_trace)
+    p_trace.add_argument("--out", metavar="FILE.json",
+                         default="trace.json",
+                         help="Chrome trace-event output file "
+                              "(default trace.json)")
+    p_trace.add_argument("--metrics-out", metavar="FILE.prom",
+                         help="also write the metric registry in "
+                              "OpenMetrics text exposition format")
+    p_trace.add_argument("--hostprof-out", metavar="FILE.json",
+                         help="also write the host-time profile as JSON "
+                              "(render with tools/hostprof_report.py)")
+    p_trace.add_argument("--verify", default=True,
+                         action=argparse.BooleanOptionalAction,
+                         help="run online segment verification so "
+                              "verify spans appear (default on)")
+    p_trace.set_defaults(func=cmd_trace)
 
     p_cmp = sub.add_parser("compare",
                            help="baseline vs each optimization")

@@ -65,6 +65,7 @@ from repro.telemetry.events import (
     RUN_STARTED,
 )
 from repro.telemetry.registry import TelemetryRegistry
+from repro.telemetry.spans import active_or_none
 from repro.tracecache.cache import TraceCache
 
 
@@ -85,6 +86,11 @@ class Engine:
             self.events = NULL_EVENT_STREAM
         registry_arg = self.registry
         events_arg = self.events if self.events.enabled else None
+        #: span recorder when the session traces spans, else None —
+        #: instrumented components guard on `is not None` so the
+        #: untraced hot path pays a single attribute check at most.
+        self.spans = active_or_none(getattr(telemetry, "spans", None)
+                                    if telemetry is not None else None)
         self.hierarchy = MemoryHierarchy(config.hierarchy)
         self.predictor = MultiBranchPredictor(config.predictor)
         self.trace_cache = (TraceCache(config.trace_cache)
@@ -92,6 +98,7 @@ class Engine:
         self.fill_unit: Optional[FillUnit] = None
         if self.trace_cache is not None:
             self.trace_cache.events = events_arg
+            self.trace_cache.spans = self.spans
             fill_config = FillUnitConfig(
                 max_instrs=config.trace_cache.max_instrs,
                 max_cond_branches=config.trace_cache.max_cond_branches,
@@ -106,7 +113,8 @@ class Engine:
             self.fill_unit = FillUnit(fill_config, self.trace_cache,
                                       self.predictor.bias,
                                       registry=registry_arg,
-                                      events=events_arg)
+                                      events=events_arg,
+                                      spans=self.spans)
         self.fus = FunctionalUnits(config.num_fus)
         self.rs = ReservationStations(config.num_fus, config.rs_per_fu)
         self.bypass = BypassNetwork(config.cluster_size,
@@ -217,6 +225,10 @@ class Engine:
         result.cycles = state.retire_cycles[-1]
         if wrong_path is not None:
             result.wrong_path_fetches = wrong_path.instructions
+        if self.spans is not None:
+            # Close whatever is still open on the simulated clock
+            # (trace-cache residency spans of still-resident segments).
+            self.spans.end_open(float(result.cycles))
         self._finish_stats(state, result)
         if accountant is not None:
             result.attribution = accountant.finish(result.cycles)

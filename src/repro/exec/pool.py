@@ -25,6 +25,7 @@ import random
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.events import EXEC_WORKER_RETRY, NULL_EVENT_STREAM
+from repro.telemetry.spans import NULL_SPANS, WALL
 
 #: per-process committed-trace memo, keyed (benchmark, scale).
 _TRACE_MEMO: Dict[Tuple[str, float], Any] = {}
@@ -78,12 +79,17 @@ class WorkerPool:
     """A crash-tolerant, order-preserving process pool."""
 
     def __init__(self, jobs: int, retries: int = 2,
-                 events: Any = NULL_EVENT_STREAM) -> None:
+                 events: Any = NULL_EVENT_STREAM,
+                 spans: Any = NULL_SPANS) -> None:
         if jobs < 1:
             raise ValueError("need at least one worker")
         self.jobs = jobs
         self.retries = retries
         self.events = events
+        #: span recorder for wall-clock pool-batch spans; worker
+        #: processes themselves never see it (it does not pickle into
+        #: the payloads), so per-run engine spans stay parent-only.
+        self.spans = spans
         self.retry_count = 0
 
     def run(self, payloads: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -97,7 +103,14 @@ class WorkerPool:
         results: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
         pending = list(range(len(payloads)))
         attempts = [0] * len(payloads)
+        spans = self.spans
+        round_no = 0
         while pending:
+            batch = spans.begin(
+                "exec", "exec.pool_batch", spans.now_wall(),
+                timebase=WALL, jobs=len(pending), workers=self.jobs,
+                round=round_no)
+            round_no += 1
             executor = ProcessPoolExecutor(max_workers=self.jobs)
             futures = {executor.submit(run_job_payload, payloads[idx]): idx
                        for idx in pending}
@@ -112,6 +125,7 @@ class WorkerPool:
                     errors[idx] = exc
                     failed.append(idx)
             executor.shutdown(wait=False)
+            batch.end(spans.now_wall(), failed=len(failed))
             exhausted = [idx for idx in failed
                          if attempts[idx] > self.retries]
             if exhausted:
@@ -122,6 +136,12 @@ class WorkerPool:
                     f"{attempts[idx]} attempt(s)") from errors[idx]
             for idx in failed:
                 self.retry_count += 1
+                spans.instant(
+                    "exec", "exec.worker.retry", spans.now_wall(),
+                    timebase=WALL,
+                    benchmark=payloads[idx].get("benchmark"),
+                    label=payloads[idx].get("label"),
+                    attempt=attempts[idx])
                 self.events.emit(
                     EXEC_WORKER_RETRY, 0,
                     benchmark=payloads[idx].get("benchmark"),

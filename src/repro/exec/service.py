@@ -36,6 +36,7 @@ from repro.telemetry.events import (
     EXEC_JOB_STARTED,
     NULL_EVENT_STREAM,
 )
+from repro.telemetry.spans import NULL_SPANS, WALL
 
 
 class ExecutionService:
@@ -54,6 +55,11 @@ class ExecutionService:
         self.telemetry = telemetry
         self.events = (telemetry.events if telemetry is not None
                        else NULL_EVENT_STREAM)
+        #: wall-clock job spans on the "exec" track; NULL_SPANS when
+        #: the session does not trace (the exec layer is not on the
+        #: simulated hot path, so the null-object calls are fine here).
+        self.spans = (getattr(telemetry, "spans", NULL_SPANS)
+                      if telemetry is not None else NULL_SPANS)
         self.retries = retries
         self._memo: Dict[str, SimResult] = {}
         self._traces: Dict[str, Any] = {}
@@ -83,6 +89,10 @@ class ExecutionService:
     def _lookup(self, job: JobSpec, fp: str) -> Optional[SimResult]:
         """Memo and disk tiers; relabels replayed results to the
         job's label (labels are presentation, not identity)."""
+        spans = self.spans
+        probe = spans.begin("exec", "exec.cache_probe",
+                            spans.now_wall(), timebase=WALL,
+                            benchmark=job.benchmark, label=job.label)
         source = None
         result = self._memo.get(fp)
         if result is not None:
@@ -91,6 +101,7 @@ class ExecutionService:
             result = self.cache.get(fp)
             if result is not None:
                 source = "disk"
+        probe.end(spans.now_wall(), source=source or "miss")
         if result is None:
             return None
         self.stats[source] += 1
@@ -117,11 +128,16 @@ class ExecutionService:
 
     def _simulate_inline(self, job: JobSpec, fp: str) -> SimResult:
         from repro.core.engine import Engine
+        spans = self.spans
         self.events.emit(EXEC_JOB_STARTED, 0, benchmark=job.benchmark,
                          label=job.label, fingerprint=fp[:12])
+        handle = spans.begin("exec", "exec.simulate", spans.now_wall(),
+                             timebase=WALL, benchmark=job.benchmark,
+                             label=job.label, source="inline")
         result = Engine(job.config).run(
             self.trace(job.benchmark), benchmark=job.benchmark,
             label=job.label)
+        handle.end(spans.now_wall(), cycles=result.cycles)
         self._store(job, fp, result)
         self.events.emit(EXEC_JOB_FINISHED, 0, benchmark=job.benchmark,
                          label=job.label, fingerprint=fp[:12],
@@ -132,24 +148,44 @@ class ExecutionService:
 
     def run(self, job: JobSpec) -> SimResult:
         """One job, through every tier."""
+        spans = self.spans
+        handle = spans.begin("exec", "exec.job", spans.now_wall(),
+                             timebase=WALL, benchmark=job.benchmark,
+                             label=job.label)
         fp = self.fingerprint(job)
         hit = self._lookup(job, fp)
         if hit is not None:
+            handle.end(spans.now_wall(), source="cache",
+                       cycles=hit.cycles)
             return hit
-        return self._simulate_inline(job, fp)
+        result = self._simulate_inline(job, fp)
+        handle.end(spans.now_wall(), source="simulated",
+                   cycles=result.cycles)
+        return result
 
     def run_many(self, jobs: List[JobSpec]) -> List[SimResult]:
         """All *jobs*, results in submission order. Misses run through
         the worker pool when ``jobs > 1``, inline otherwise; duplicate
         specs within the batch simulate once."""
+        spans = self.spans
         fps = [self.fingerprint(job) for job in jobs]
         results: Dict[int, SimResult] = {}
         misses: List[int] = []
         dispatched: Dict[str, int] = {}
+        # One exec.job span per submission. For batched misses the end
+        # timestamp is when the batch's results are folded back in —
+        # an approximation (pool jobs overlap), documented in
+        # docs/observability.md.
+        handles = [spans.begin("exec", "exec.job", spans.now_wall(),
+                               timebase=WALL, benchmark=job.benchmark,
+                               label=job.label)
+                   for job in jobs]
         for idx, (job, fp) in enumerate(zip(jobs, fps)):
             hit = self._lookup(job, fp)
             if hit is not None:
                 results[idx] = hit
+                handles[idx].end(spans.now_wall(), source="cache",
+                                 cycles=hit.cycles)
             elif fp in dispatched:
                 continue                      # duplicate; fill in later
             else:
@@ -168,12 +204,16 @@ class ExecutionService:
                 memo = self._memo[fp]
                 result = (memo if memo.config_label == job.label
                           else replace(memo, config_label=job.label))
+                source = ("simulated" if dispatched.get(fp) == idx
+                          else "duplicate")
+                handles[idx].end(spans.now_wall(), source=source,
+                                 cycles=result.cycles)
             out.append(result)
         return out
 
     def _run_pool(self, jobs: List[JobSpec], fps: List[str]) -> None:
         pool = WorkerPool(self.jobs, retries=self.retries,
-                          events=self.events)
+                          events=self.events, spans=self.spans)
         payloads = []
         for job, fp in zip(jobs, fps):
             payloads.append(self._payload(job, fp))

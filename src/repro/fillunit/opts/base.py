@@ -149,7 +149,8 @@ class PassManager:
     def __init__(self, config: OptimizationConfig,
                  num_clusters: int = 4, cluster_size: int = 4,
                  bias=None, registry=None, events=None,
-                 verifier=None, verify_each: bool = False) -> None:
+                 verifier=None, verify_each: bool = False,
+                 spans=None, span_window: float = 0.0) -> None:
         from repro.fillunit.opts.cse import CommonSubexpressionPass
         from repro.fillunit.opts.deadcode import DeadCodePass
         from repro.fillunit.opts.moves import RegisterMovePass
@@ -162,6 +163,12 @@ class PassManager:
                                    bias=bias, registry=registry)
         self.registry = registry
         self.events = events
+        #: optional span recorder; each pass gets an even slice of the
+        #: fill-pipeline window *span_window* (simulated cycles). The
+        #: subdivision is presentational — the paper models pass cost
+        #: only as the fill unit's total latency.
+        self.spans = spans
+        self.span_window = span_window
         self.passes: list = []
         if config.predication:
             self.passes.append(PredicationPass())
@@ -214,7 +221,16 @@ class PassManager:
         self.context.rejections.clear()
         self.last_violations = []
         need_snapshot = self.verify_each or bool(self.post_pass_hooks)
-        for opt_pass in self.passes:
+        # Span subdivision of the fill-pipeline window: the passes (and
+        # the verify step, when enabled) share [cycle, cycle+window)
+        # evenly. FillUnit._verify uses the same formula for the last
+        # slot — keep them in sync.
+        span_share = 0.0
+        if self.spans is not None:
+            slots = len(self.passes) + (1 if self.verifier is not None
+                                        else 0)
+            span_share = self.span_window / max(slots, 1)
+        for pass_index, opt_pass in enumerate(self.passes):
             # Placement consumes the dependence structure produced by
             # the rewriting passes, so (re)mark just before it.
             if opt_pass.name == "placement":
@@ -223,6 +239,12 @@ class PassManager:
             for hook in self.pre_pass_hooks:
                 hook(opt_pass.name, segment)
             pass_stats = opt_pass.apply(segment, self.context)
+            if self.spans is not None:
+                self.spans.span(
+                    "fillunit", f"pass.{opt_pass.name}",
+                    cycle + pass_index * span_share, span_share,
+                    start_pc=segment.start_pc,
+                    **{k: v for k, v in pass_stats.items() if v})
             for hook in self.post_pass_hooks:
                 hook(opt_pass.name, snapshot, segment, pass_stats)
             if self.verify_each:

@@ -51,7 +51,8 @@ class FillUnit:
     """Collect retired blocks, optimize, install into the trace cache."""
 
     def __init__(self, config: FillUnitConfig, trace_cache: TraceCache,
-                 bias: BiasTable, registry=None, events=None) -> None:
+                 bias: BiasTable, registry=None, events=None,
+                 spans=None) -> None:
         self.config = config
         self.trace_cache = trace_cache
         self.bias = bias
@@ -66,10 +67,19 @@ class FillUnit:
                                   config.num_clusters, config.cluster_size,
                                   bias=bias, registry=registry,
                                   events=events, verifier=self.verifier,
-                                  verify_each=config.verify_each)
+                                  verify_each=config.verify_each,
+                                  spans=spans,
+                                  span_window=float(config.latency))
         self.stats = FillUnitStats()
         self.registry = registry
         self.events = events
+        #: optional span recorder (timeline tracing; see
+        #: repro.telemetry.spans). None keeps the retire path branch-free
+        #: beyond a single test per instruction.
+        self.spans = spans
+        #: retire cycle at which the currently-collecting segment
+        #: started (span bookkeeping only).
+        self._collect_start = None
         #: optional {"moves"|"reassoc"|"scaled": set of PCs} sink; when
         #: set (by the harness cross-checker), every built segment's
         #: transformed instruction addresses are recorded per opt
@@ -93,8 +103,25 @@ class FillUnit:
     def retire(self, record, cycle: int) -> None:
         """Feed one retired instruction at retirement *cycle*."""
         self.stats.instructions_collected += 1
-        for candidate in self.collector.add(record):
+        if self.spans is None:
+            for candidate in self.collector.add(record):
+                self._build(candidate, cycle)
+            return
+        # Traced path: bracket each candidate with its collection
+        # window (first contributing retire -> finalizing retire).
+        if self._collect_start is None:
+            self._collect_start = cycle
+        candidates = self.collector.add(record)
+        for candidate in candidates:
+            self.spans.span(
+                "fillunit", "segment.collect", self._collect_start,
+                cycle - self._collect_start,
+                start_pc=candidate.start_pc, instrs=len(candidate))
             self._build(candidate, cycle)
+        if candidates:
+            # The current retire may already have opened the next
+            # pending segment; approximate its window start as now.
+            self._collect_start = cycle
 
     def note_fetch_miss(self, pc: int) -> None:
         """The fetch engine missed the trace cache at *pc*: align an
@@ -159,6 +186,17 @@ class FillUnit:
             violations = self.verifier.check(original, optimized,
                                              record=False)
         self.verifier.report.record(violations)
+        if self.spans is not None:
+            # The verify step takes the last slot of the fill-pipeline
+            # window (the passes share the preceding slots; see
+            # PassManager.run — same subdivision).
+            share = self.config.latency / (len(self.passes.passes) + 1)
+            start = cycle + len(self.passes.passes) * share
+            self.spans.span(
+                "fillunit", "segment.verify", start,
+                cycle + self.config.latency - start,
+                start_pc=optimized.start_pc,
+                violations=len(violations))
         if self.registry is not None:
             self._m_checked.add()
             if not any(v.severity == "error" for v in violations):
@@ -195,6 +233,13 @@ class FillUnit:
                 return
             # Same path but promotion state changed: rebuild so the
             # line's embedded static predictions track the bias table.
+        if self.spans is not None:
+            # The fill pipeline occupies [cycle, cycle + latency); the
+            # per-pass (and verify) sub-spans nest inside this window.
+            self.spans.span(
+                "fillunit", "segment.optimize", cycle,
+                self.config.latency, start_pc=candidate.start_pc,
+                instrs=len(candidate))
         segment = self.build_segment(candidate, cycle)
         self.trace_cache.insert(segment, cycle, self.config.latency)
         self.stats.segments_built += 1

@@ -15,7 +15,7 @@ chart, with paper-reported reference numbers alongside for comparison.
 """
 
 from repro.harness.experiment import ExperimentRunner
-from repro.harness import export, figures, svgchart, sweeps, tables
+from repro.harness import figures, svgchart, sweeps, tables
 from repro.harness.report import render_bar_chart, render_table
 
 __all__ = [
@@ -28,3 +28,14 @@ __all__ = [
     "render_bar_chart",
     "render_table",
 ]
+
+
+def __getattr__(name):
+    # `export` moved to repro.core.export; resolve the deprecated shim
+    # lazily so merely importing the harness does not trigger its
+    # DeprecationWarning.
+    if name == "export":
+        import importlib
+        return importlib.import_module("repro.harness.export")
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,9 +1,12 @@
-"""Compatibility shim: result serialization moved to
+"""Deprecated compatibility shim: result serialization moved to
 :mod:`repro.core.export` so the execution layer can depend on it
-without pulling in the whole harness. The public surface is unchanged;
-import from here or from the new home interchangeably."""
+without pulling in the whole harness. The public surface is unchanged
+but imports should move to the new home; this shim warns on import
+and will be removed in a future revision."""
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.export import (
     SCHEMA_VERSION,
@@ -13,6 +16,10 @@ from repro.core.export import (
     result_from_dict,
     result_to_dict,
 )
+
+warnings.warn(
+    "repro.harness.export is deprecated; import from repro.core.export",
+    DeprecationWarning, stacklevel=2)
 
 __all__ = ["result_to_dict", "result_from_dict", "dump_results",
            "load_results", "diff_results", "SCHEMA_VERSION"]

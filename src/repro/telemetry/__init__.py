@@ -47,6 +47,10 @@ from repro.telemetry.registry import (
     NULL_REGISTRY,
     TelemetryRegistry,
 )
+from repro.telemetry.spans import (
+    NULL_SPANS,
+    SpanRecorder,
+)
 
 
 class Telemetry:
@@ -57,18 +61,37 @@ class Telemetry:
     :class:`~repro.core.results.SimResult` still reports per-run
     deltas. *attribution* turns the per-instruction cycle-accounting
     feed on (a few percent of replay time); *event_capacity* bounds
-    the ring buffer.
+    the ring buffer; *spans* attaches a
+    :class:`~repro.telemetry.spans.SpanRecorder` capturing the segment
+    lifecycle and execution-service jobs as exportable timelines (off
+    by default — span capture retains every record).
     """
 
     def __init__(self, enabled: bool = True, event_capacity: int = 4096,
-                 attribution: bool = True) -> None:
+                 attribution: bool = True, spans: bool = False) -> None:
         self.enabled = enabled
         self.registry = (TelemetryRegistry() if enabled
                          else NULL_REGISTRY)
         self.events = (EventStream(event_capacity) if enabled
                        else NULL_EVENT_STREAM)
         self.attribution = bool(attribution and enabled)
+        self.spans = (SpanRecorder() if spans and enabled
+                      else NULL_SPANS)
         self._sinks: list = []
+
+    # ------------------------------------------------------------------
+
+    def enable_spans(self) -> SpanRecorder:
+        """Attach (or return the existing) span recorder. Must happen
+        before the instrumented components are constructed — they
+        capture the recorder at construction time."""
+        if not self.enabled:
+            raise RuntimeError("cannot record spans on a disabled "
+                               "telemetry session")
+        if not self.spans.enabled:
+            self.spans = SpanRecorder()
+        recorder: SpanRecorder = self.spans
+        return recorder
 
     # ------------------------------------------------------------------
 
@@ -100,4 +123,5 @@ class Telemetry:
 __all__ = ["Telemetry", "TelemetryRegistry", "EventStream", "JsonlSink",
            "MemorySink", "CallbackSink", "CycleAccountant",
            "CYCLE_CLASSES", "render_attribution", "diff_attribution",
-           "read_jsonl", "NULL_REGISTRY", "NULL_EVENT_STREAM"]
+           "read_jsonl", "NULL_REGISTRY", "NULL_EVENT_STREAM",
+           "SpanRecorder", "NULL_SPANS"]

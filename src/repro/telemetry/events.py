@@ -142,18 +142,14 @@ class JsonlSink:
 
 
 def read_jsonl(path) -> list:
-    """Load a JSONL event file back into :class:`Event` objects."""
-    events = []
-    with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            payload = json.loads(line)
-            kind = payload.pop("kind")
-            cycle = payload.pop("cycle", 0)
-            events.append(Event(kind, cycle, payload))
-    return events
+    """Load a JSONL event file back into :class:`Event` objects.
+
+    Thin wrapper over :func:`repro.telemetry.io.read_events` (the
+    shared archive loader with malformed-line reporting), kept for
+    source compatibility.
+    """
+    from repro.telemetry.io import read_events
+    return read_events(path, on_error="raise")
 
 
 # -- the stream ---------------------------------------------------------

@@ -1,0 +1,25 @@
+"""Telemetry exporters: serialize sessions for external tooling.
+
+* :mod:`repro.telemetry.exporters.chrometrace` — Chrome trace-event
+  JSON for ``ui.perfetto.dev`` / ``chrome://tracing``: span timelines
+  on a simulated-cycle timebase (pipeline/segment lifecycle) and a
+  wall-clock timebase (execution-service jobs).
+* :mod:`repro.telemetry.exporters.openmetrics` — OpenMetrics /
+  Prometheus text exposition of the full metric registry, the format
+  the planned HTTP service will serve from ``/metrics``.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.exporters.chrometrace import (
+    archive_to_trace,
+    trace_events,
+    write_chrome_trace,
+)
+from repro.telemetry.exporters.openmetrics import (
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+__all__ = ["trace_events", "write_chrome_trace", "archive_to_trace",
+           "render_openmetrics", "parse_openmetrics"]

@@ -1,0 +1,145 @@
+"""OpenMetrics / Prometheus text exposition of the metric registry.
+
+Renders a :class:`~repro.telemetry.registry.TelemetryRegistry` (or a
+``registry.flat()`` snapshot paired with metric kinds) in the
+OpenMetrics text format — the exposition the planned HTTP service will
+serve from ``/metrics``, and a format every Prometheus-compatible
+scraper ingests directly.
+
+Name mapping: registry scopes are dot-separated (``fetch.tc.hits``);
+metric names become ``repro_`` + the scope with dots replaced by
+underscores (``repro_fetch_tc_hits``). The original scope is kept in
+the ``# HELP`` line so the mapping is reversible by eye. Counters get
+the mandatory ``_total`` sample suffix; histograms are exposed with
+cumulative ``le`` buckets derived from the registry's power-of-two
+buckets (bucket *k* holds observations with ``bit_length() == k``,
+i.e. values ``<= 2^k - 1``).
+
+:func:`parse_openmetrics` reads the exposition back into a flat dict —
+used by the round-trip test and handy for scraping in-process.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple
+
+from repro.telemetry.registry import TelemetryRegistry
+
+#: prefix for every exposed metric name.
+NAME_PREFIX = "repro_"
+
+
+def metric_name(scope: str) -> str:
+    """The OpenMetrics name for a registry scope."""
+    return NAME_PREFIX + scope.replace(".", "_")
+
+
+def _histogram_lines(name: str, snap: Dict[str, Any]) -> List[str]:
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    buckets = {int(k): v for k, v in snap["buckets"].items()}
+    for exponent in sorted(buckets):
+        cumulative += buckets[exponent]
+        le = (1 << exponent) - 1 if exponent else 0
+        lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+    lines.append(f"{name}_sum {snap['total']}")
+    lines.append(f"{name}_count {snap['count']}")
+    return lines
+
+
+def render_openmetrics(registry: TelemetryRegistry) -> str:
+    """The registry's full state in OpenMetrics text format (ends with
+    the mandatory ``# EOF`` terminator)."""
+    lines: List[str] = []
+    for scope in sorted(registry._metrics):
+        metric = registry._metrics[scope]
+        name = metric_name(scope)
+        if metric.kind == "histogram":
+            lines.append(f"# HELP {name} scope {scope}")
+            lines.extend(_histogram_lines(name, metric.snapshot_value()))
+            continue
+        lines.append(f"# HELP {name} scope {scope}")
+        if metric.kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {metric.value}")
+        else:
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {metric.value}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> Any:
+    value = float(text)
+    if value.is_integer() and not math.isinf(value):
+        return int(value)
+    return value
+
+
+def _split_sample(line: str) -> Tuple[str, Dict[str, str], str]:
+    """``name{labels} value`` -> (name, labels, value-text)."""
+    labels: Dict[str, str] = {}
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_text, value_text = rest.split("}", 1)
+        for item in label_text.split(","):
+            if not item:
+                continue
+            key, raw = item.split("=", 1)
+            labels[key.strip()] = raw.strip().strip('"')
+        return name.strip(), labels, value_text.strip()
+    name, value_text = line.rsplit(None, 1)
+    return name.strip(), labels, value_text.strip()
+
+
+def parse_openmetrics(text: str) -> Dict[str, Any]:
+    """Parse an exposition back into ``{metric_name: value}``.
+
+    Counters and gauges map to their scalar value (the ``_total``
+    suffix is kept for counters); histograms map to
+    ``{"count": n, "sum": s, "buckets": {le_text: cumulative}}``.
+    """
+    types: Dict[str, str] = {}
+    out: Dict[str, Any] = {}
+    saw_eof = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value_text = _split_sample(line)
+        value = _parse_value(value_text)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and \
+                    types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        if types.get(base) == "histogram":
+            hist = out.setdefault(
+                base, {"count": 0, "sum": 0, "buckets": {}})
+            if name.endswith("_bucket"):
+                hist["buckets"][labels.get("le", "+Inf")] = value
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = value
+            continue
+        out[name] = value
+    if not saw_eof:
+        raise ValueError("exposition is missing the '# EOF' terminator")
+    return out
+
+
+__all__ = ["render_openmetrics", "parse_openmetrics", "metric_name",
+           "NAME_PREFIX"]

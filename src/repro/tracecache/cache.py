@@ -74,6 +74,12 @@ class TraceCache:
         #: optional telemetry event stream (set by the pipeline when a
         #: Telemetry session is attached); evictions are reported here.
         self.events = None
+        #: optional span recorder (set by the engine when the session
+        #: traces spans); residency spans + reuse/evict instants land on
+        #: the "tracecache" track. None keeps lookup/insert branch-lean.
+        self.spans = None
+        # (start_pc, path_key) -> open tc.residency SpanHandle.
+        self._residency: dict = {}
 
     def _set_for(self, pc: int) -> dict:
         return self._sets[(pc >> 2) & self._set_mask]
@@ -109,6 +115,9 @@ class TraceCache:
         segment = entries.pop(key)
         entries[key] = segment          # LRU touch
         self.stats.hits += 1
+        if self.spans is not None:
+            self.spans.instant("tracecache", "tc.reuse", float(now),
+                               start_pc=pc, instrs=len(segment.instrs))
         return segment
 
     def probe(self, pc: int, path_key: tuple = None):
@@ -150,9 +159,16 @@ class TraceCache:
             # Same path resident: replace its content (e.g. the branch
             # promotion state or annotations changed) with a fresh fill.
             entries.pop(key)
+            if self.spans is not None:
+                self._end_residency(key, now)
         elif len(entries) >= self.config.assoc:
             victim_key = next(iter(entries))
             entries.pop(victim_key)             # evict LRU
+            if self.spans is not None:
+                self._end_residency(victim_key, now)
+                self.spans.instant("tracecache", "tc.evict", float(now),
+                                   start_pc=victim_key[0],
+                                   for_pc=segment.start_pc)
             if self.events is not None:
                 from repro.telemetry.events import TC_EVICT
                 self.events.emit(TC_EVICT, now, start_pc=victim_key[0],
@@ -160,6 +176,20 @@ class TraceCache:
         segment.fill_cycle = now + fill_latency
         entries[key] = segment
         self.stats.fills += 1
+        if self.spans is not None:
+            fill_cycle = float(segment.fill_cycle)
+            self.spans.instant("tracecache", "tc.insert", fill_cycle,
+                               start_pc=segment.start_pc,
+                               instrs=len(segment.instrs))
+            self._residency[key] = self.spans.begin(
+                "tracecache", "tc.residency", fill_cycle,
+                start_pc=segment.start_pc, instrs=len(segment.instrs))
+
+    def _end_residency(self, key, now: int) -> None:
+        """Close the open residency span for *key*, if any."""
+        handle = self._residency.pop(key, None)
+        if handle is not None:
+            handle.end(float(now))
 
     def invalidate(self, pc: int) -> int:
         """Drop every path starting at *pc*; returns how many."""

@@ -46,6 +46,42 @@ def test_tables(capsys):
     assert "Table 1" in out and "Table 2" in out
 
 
+def test_trace_exports_perfetto_timeline(tmp_path, capsys):
+    import json
+    out = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.prom"
+    hostprof = tmp_path / "prof.json"
+    code, text = run_cli(capsys, "trace", "compress", "--scale", "0.1",
+                         "--out", str(out),
+                         "--metrics-out", str(metrics),
+                         "--hostprof-out", str(hostprof))
+    assert code == 0
+    assert "perfetto" in text and "host-time profile" in text
+    events = json.loads(out.read_text())["traceEvents"]
+    assert events
+    for event in events:
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            assert key in event
+    names = {e["name"] for e in events}
+    assert {"segment.collect", "segment.optimize", "segment.verify",
+            "tc.insert", "tc.reuse"} <= names
+    assert metrics.read_text().endswith("# EOF\n")
+    prof = json.loads(hostprof.read_text())
+    assert any(s.startswith("stage.") for s in prof["scopes"])
+
+
+def test_trace_no_verify_drops_verify_spans(tmp_path, capsys):
+    import json
+    out = tmp_path / "trace.json"
+    code, _ = run_cli(capsys, "trace", "compress", "--scale", "0.05",
+                      "--no-verify", "--out", str(out))
+    assert code == 0
+    names = {e["name"]
+             for e in json.loads(out.read_text())["traceEvents"]}
+    assert "segment.verify" not in names
+    assert "segment.optimize" in names
+
+
 def test_asm_command(tmp_path, capsys):
     source = tmp_path / "kernel.s"
     source.write_text("""

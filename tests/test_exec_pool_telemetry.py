@@ -1,0 +1,111 @@
+"""Which telemetry reaches the parent session under ``--jobs N``.
+
+Pins the contract documented in docs/observability.md: with a worker
+pool, only the execution-service job-lifecycle events
+(``exec.job.started`` / ``exec.job.finished`` / ``exec.job.cached``)
+and ``exec.worker.retry`` are emitted on the parent session's event
+stream — per-run engine events (``segment.built``, ``run.finished``,
+...) happen in worker processes (or in an engine constructed without
+the session, on the inline path) and never reach it. The contract is
+deliberately identical for ``jobs=1`` and ``jobs>1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.grid import expand, opt_variant
+from repro.exec.service import ExecutionService
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    EXEC_JOB_CACHED,
+    EXEC_JOB_FINISHED,
+    EXEC_JOB_STARTED,
+    EXEC_WORKER_RETRY,
+)
+
+SCALE = 0.05
+EXEC_KINDS = {EXEC_JOB_STARTED, EXEC_JOB_FINISHED, EXEC_JOB_CACHED,
+              EXEC_WORKER_RETRY}
+
+
+def _jobs():
+    return expand(("compress", "li"),
+                  [opt_variant(OptimizationConfig.none()),
+                   opt_variant(OptimizationConfig.all())])
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_only_exec_events_reach_parent_session(jobs):
+    telemetry = Telemetry(attribution=False)
+    sink = telemetry.attach_memory()
+    service = ExecutionService(scale=SCALE, jobs=jobs,
+                               telemetry=telemetry)
+    specs = _jobs()
+    service.run_many(specs)
+
+    kinds = {event.kind for event in sink.events}
+    assert kinds <= EXEC_KINDS, (
+        f"unexpected event kinds on the parent session: "
+        f"{sorted(kinds - EXEC_KINDS)}")
+    started = sink.by_kind(EXEC_JOB_STARTED)
+    finished = sink.by_kind(EXEC_JOB_FINISHED)
+    assert len(started) == len(specs)
+    assert len(finished) == len(specs)
+    # Payload schema: every lifecycle event names its job.
+    for event in started + finished:
+        assert {"benchmark", "label", "fingerprint"} <= set(event.data)
+    for event in finished:
+        assert event.data["cycles"] > 0
+
+
+def test_memo_hits_emit_cached_not_started():
+    telemetry = Telemetry(attribution=False)
+    sink = telemetry.attach_memory()
+    service = ExecutionService(scale=SCALE, jobs=1, telemetry=telemetry)
+    specs = _jobs()
+    service.run_many(specs)
+    before = len(sink.by_kind(EXEC_JOB_STARTED))
+    service.run_many(specs)          # all memo hits now
+    cached = sink.by_kind(EXEC_JOB_CACHED)
+    assert len(cached) == len(specs)
+    assert all(e.data["source"] == "memo" for e in cached)
+    assert len(sink.by_kind(EXEC_JOB_STARTED)) == before
+
+
+def test_pool_emits_wall_clock_job_spans():
+    telemetry = Telemetry(attribution=False, spans=True)
+    service = ExecutionService(scale=SCALE, jobs=2, telemetry=telemetry)
+    specs = _jobs()
+    service.run_many(specs)
+    recorder = telemetry.spans
+    job_spans = recorder.by_name("exec.job")
+    assert len(job_spans) == len(specs)
+    assert all(r["timebase"] == "wall" for r in job_spans)
+    sources = {r["args"]["source"] for r in job_spans}
+    assert "simulated" in sources
+    batches = recorder.by_name("exec.pool_batch")
+    assert batches and batches[0]["args"]["workers"] == 2
+    # Simulated-time spans never appear: workers don't share the
+    # recorder, and the parent never runs an instrumented engine here.
+    assert all(r["timebase"] == "wall" for r in recorder.records)
+
+
+def test_worker_retry_reaches_parent_stream(tmp_path):
+    from repro.exec.pool import WorkerPool
+
+    telemetry = Telemetry(attribution=False, spans=True)
+    sink = telemetry.attach_memory()
+    service = ExecutionService(scale=SCALE, jobs=2, telemetry=telemetry)
+    spec = _jobs()[0]
+    payload = service._payload(spec, service.fingerprint(spec))
+    payload["crash_once_path"] = str(tmp_path / "crash-marker")
+    pool = WorkerPool(2, retries=2, events=telemetry.events,
+                      spans=telemetry.spans)
+    results = pool.run([payload])
+    assert len(results) == 1
+    retries = sink.by_kind(EXEC_WORKER_RETRY)
+    assert retries and retries[0].data["benchmark"] == spec.benchmark
+    assert telemetry.spans.by_name("exec.worker.retry")
+    assert len(telemetry.spans.by_name("exec.pool_batch")) == 2

@@ -1,0 +1,48 @@
+"""The deprecated ``repro.harness.export`` shim: warns, still works."""
+
+import importlib
+import sys
+import warnings
+
+import repro.core.export as core_export
+
+
+def _fresh_import():
+    sys.modules.pop("repro.harness.export", None)
+    return importlib.import_module("repro.harness.export")
+
+
+def test_shim_warns_on_import():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _fresh_import()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, "importing the shim must warn"
+    assert "repro.core.export" in str(deprecations[0].message)
+
+
+def test_shim_reexports_are_identical():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        shim = _fresh_import()
+    for name in ("result_to_dict", "result_from_dict", "dump_results",
+                 "load_results", "diff_results", "SCHEMA_VERSION"):
+        assert getattr(shim, name) is getattr(core_export, name)
+
+
+def test_harness_package_import_does_not_warn():
+    # The shim resolves lazily via repro.harness.__getattr__, so merely
+    # importing the harness stays warning-free...
+    for mod in ("repro.harness", "repro.harness.export"):
+        sys.modules.pop(mod, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        harness = importlib.import_module("repro.harness")
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    # ...while attribute access still reaches the (warning) shim.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = harness.export
+    assert module.dump_results is core_export.dump_results

@@ -3,9 +3,9 @@
 import pytest
 
 from repro.harness.experiment import ExperimentRunner
-from repro.harness.export import (diff_results, dump_results,
-                                  load_results, result_from_dict,
-                                  result_to_dict)
+from repro.core.export import (diff_results, dump_results,
+                               load_results, result_from_dict,
+                               result_to_dict)
 from repro.harness import sweeps
 
 BENCHES = ["compress"]

@@ -13,20 +13,15 @@ import sys
 
 from repro.telemetry.attribution import diff_attribution, \
     render_attribution
-from repro.telemetry.events import RUN_FINISHED, read_jsonl
+from repro.telemetry.io import load_attribution_runs
 
 
 def load_runs(path) -> list:
-    """``(label, cycles, attribution)`` per finished run in *path*."""
-    runs = []
-    for event in read_jsonl(path):
-        if event.kind != RUN_FINISHED:
-            continue
-        data = event.data
-        label = f"{data.get('benchmark', '?')}/{data.get('label', '?')}"
-        runs.append((label, data.get("cycles", 0),
-                     data.get("attribution") or {}))
-    return runs
+    """``(label, cycles, attribution)`` per finished run in *path*.
+
+    Thin wrapper over the shared archive loader (kept under the
+    historical name); malformed lines are reported but skipped."""
+    return load_attribution_runs(path, on_error="warn")
 
 
 def main() -> int:

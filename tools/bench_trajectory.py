@@ -1,0 +1,221 @@
+"""Performance-trajectory harness: one number file per code version.
+
+Runs the two anchor benchmarks (compress, li) end to end at the tier-1
+scale with the host-time profiler attached and records, per benchmark:
+
+* ``cycles`` — the simulated cycle count (deterministic; compared
+  *exactly* against the baseline — any drift is a modelling change,
+  not a performance regression);
+* ``wall_seconds`` — best-of-N replay wall time;
+* ``normalized_wall`` — wall time divided by this machine's score on a
+  fixed pure-Python spin loop (``ref_seconds``), so the regression
+  gate transfers across machines of different speeds;
+* ``stage_shares`` — per-pipeline-stage host-time fractions from the
+  :class:`~repro.telemetry.hostprof.HostProfiler`;
+* ``reuse`` — trace-cache/segment reuse statistics.
+
+Usage:
+    python tools/bench_trajectory.py --out BENCH_6.json
+    python tools/bench_trajectory.py --out /tmp/now.json \\
+        --check BENCH_6.json --tolerance 0.10
+
+``--check`` exits nonzero when any benchmark's cycle count differs
+from the baseline or its normalized wall time regressed by more than
+``--tolerance`` (fractional; default 0.10). The pytest wrapper in
+``benchmarks/bench_trajectory.py`` runs the cycle/shape checks on
+every benchmark invocation and the wall gate under ``REPRO_BENCH_GATE``.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+TRAJECTORY_SCHEMA_VERSION = 1
+BENCHMARKS = ("compress", "li")
+DEFAULT_SCALE = 0.5
+DEFAULT_TOLERANCE = 0.10
+#: iterations of the calibration spin loop (fixed: its absolute wall
+#: time *is* the machine-speed reference).
+_CALIBRATION_ITERS = 400_000
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Best-of-*repeats* wall seconds of a fixed pure-Python loop —
+    the machine-speed reference normalized wall times divide by."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(_CALIBRATION_ITERS):
+            acc += i & 7
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert acc >= 0
+    return best
+
+
+def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
+                      repeats: int = 3) -> dict:
+    """One benchmark's trajectory entry (see module docstring)."""
+    from repro import workloads
+    from repro.core.config import SimConfig
+    from repro.core.engine import Engine
+    from repro.fillunit.opts.base import OptimizationConfig
+    from repro.machine.executor import Executor
+    from repro.telemetry.hostprof import HostProfiler
+
+    program = workloads.build(name, scale)
+    trace = Executor(program).run()
+    best_wall = None
+    result = None
+    profiler = None
+    for _ in range(repeats):
+        # The CLI's default configuration (paper machine, all four
+        # published optimizations) — `repro run BENCH` reproduces
+        # these cycle counts exactly.
+        engine = Engine(SimConfig.paper(OptimizationConfig.all()))
+        prof = HostProfiler()
+        prof.attach(engine)
+        start = time.perf_counter()
+        res = engine.run(trace, benchmark=name, label="trajectory")
+        elapsed = time.perf_counter() - start
+        if best_wall is None or elapsed < best_wall:
+            best_wall, result, profiler = elapsed, res, prof
+        if result.cycles != res.cycles:
+            raise AssertionError(
+                f"{name}: nondeterministic cycles "
+                f"({result.cycles} vs {res.cycles})")
+        tc = engine.trace_cache
+    stats = tc.stats
+    fill = engine.fill_unit.stats
+    return {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "wall_seconds": round(best_wall, 6),
+        "stage_shares": {
+            scope: round(share, 4)
+            for scope, share in profiler.shares("stage.").items()
+        },
+        "reuse": {
+            "tc_lookups": stats.lookups,
+            "tc_hits": stats.hits,
+            "tc_hit_rate": round(stats.hit_rate, 4),
+            "segments_built": fill.segments_built,
+            "segments_deduped": fill.segments_deduped,
+        },
+    }
+
+
+def measure_all(scale: float = DEFAULT_SCALE, repeats: int = 3) -> dict:
+    ref_seconds = calibrate()
+    benchmarks = {}
+    for name in BENCHMARKS:
+        entry = measure_benchmark(name, scale, repeats)
+        entry["normalized_wall"] = round(
+            entry["wall_seconds"] / ref_seconds, 4)
+        benchmarks[name] = entry
+    return {
+        "schema": TRAJECTORY_SCHEMA_VERSION,
+        "scale": scale,
+        "ref_seconds": round(ref_seconds, 6),
+        "benchmarks": benchmarks,
+    }
+
+
+def check_against(current: dict, baseline: dict,
+                  tolerance: float = DEFAULT_TOLERANCE) -> list:
+    """Regression findings of *current* vs *baseline* (empty == pass).
+
+    Cycle counts must match exactly; normalized wall time may grow by
+    at most *tolerance* (fractional). Improvements always pass.
+    """
+    failures = []
+    if baseline.get("schema") != current.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs current {current.get('schema')!r}")
+        return failures
+    if baseline.get("scale") != current.get("scale"):
+        failures.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"current {current.get('scale')}; re-run with --scale "
+            f"{baseline.get('scale')}")
+        return failures
+    for name, base in baseline.get("benchmarks", {}).items():
+        now = current["benchmarks"].get(name)
+        if now is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if now["cycles"] != base["cycles"]:
+            failures.append(
+                f"{name}: cycle count drifted {base['cycles']} -> "
+                f"{now['cycles']} (simulated time must be bit-for-bit "
+                f"stable; if the model intentionally changed, refresh "
+                f"the baseline)")
+        limit = base["normalized_wall"] * (1.0 + tolerance)
+        if now["normalized_wall"] > limit:
+            failures.append(
+                f"{name}: normalized wall time regressed "
+                f"{base['normalized_wall']:.3f} -> "
+                f"{now['normalized_wall']:.3f} "
+                f"(> {100 * tolerance:.0f}% over baseline)")
+    return failures
+
+
+def render(payload: dict) -> str:
+    lines = [f"perf trajectory (scale {payload['scale']}, "
+             f"ref {payload['ref_seconds'] * 1000:.1f} ms)"]
+    for name, entry in payload["benchmarks"].items():
+        lines.append(
+            f"  {name:10s} cycles={entry['cycles']:8d}  "
+            f"wall={entry['wall_seconds'] * 1000:7.1f} ms  "
+            f"normalized={entry['normalized_wall']:6.2f}  "
+            f"tc_hit={100 * entry['reuse']['tc_hit_rate']:.1f}%")
+        top = sorted(entry["stage_shares"].items(),
+                     key=lambda kv: -kv[1])[:3]
+        lines.append("  " + " " * 10 + " hottest stages: " + ", ".join(
+            f"{scope.split('.', 1)[1]} {100 * share:.0f}%"
+            for scope, share in top))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--out", metavar="FILE.json", required=True,
+                        help="write the trajectory file here")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="replays per benchmark; best is kept")
+    parser.add_argument("--check", metavar="BASELINE.json",
+                        help="fail on regression vs this baseline")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional normalized-wall growth "
+                             "(default 0.10)")
+    args = parser.parse_args(argv)
+
+    payload = measure_all(args.scale, args.repeats)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(render(payload))
+    print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_against(payload, baseline, args.tolerance)
+        if failures:
+            print(f"\nFAIL vs {args.check}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(tolerance {100 * args.tolerance:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

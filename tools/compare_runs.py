@@ -20,7 +20,7 @@ Usage:
 
 import sys
 
-from repro.harness.export import diff_results, load_results
+from repro.core.export import diff_results, load_results
 
 
 def compare_json(path_a: str, path_b: str) -> int:
@@ -43,15 +43,14 @@ def compare_json(path_a: str, path_b: str) -> int:
 
 def compare_jsonl(path_a: str, path_b: str) -> int:
     from repro.telemetry.attribution import diff_attribution
-    try:
-        from tools.attribution_report import load_runs
-    except ImportError:     # invoked as `python tools/compare_runs.py`
-        from attribution_report import load_runs
+    from repro.telemetry.io import load_attribution_runs
 
     runs_a = {label: (cycles, attr)
-              for label, cycles, attr in load_runs(path_a)}
+              for label, cycles, attr
+              in load_attribution_runs(path_a, on_error="warn")}
     runs_b = {label: (cycles, attr)
-              for label, cycles, attr in load_runs(path_b)}
+              for label, cycles, attr
+              in load_attribution_runs(path_b, on_error="warn")}
     shared = sorted(runs_a.keys() & runs_b.keys())
     if not shared:
         # Different benchmarks/labels in the two archives: fall back to

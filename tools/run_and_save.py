@@ -7,7 +7,7 @@ import sys
 
 from repro.fillunit.opts.base import OptimizationConfig
 from repro.harness.experiment import ExperimentRunner
-from repro.harness.export import dump_results
+from repro.core.export import dump_results
 
 
 def main() -> int:

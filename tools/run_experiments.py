@@ -1,5 +1,6 @@
 """Regenerate every table and figure and write the results to
-experiments_output.txt (source material for EXPERIMENTS.md).
+out/experiments_output.txt (source material for EXPERIMENTS.md; the
+``out/`` directory is generated, git-ignored scratch space).
 
 The full paper grid is prefetched through the execution service
 first — in parallel with ``--jobs N``, replayed from the
@@ -8,6 +9,7 @@ code then consumes the warm results.
 """
 
 import argparse
+import pathlib
 import time
 
 from repro.exec.grid import paper_grid
@@ -25,8 +27,11 @@ def parse_args(argv=None):
                         help="worker processes for the simulation grid")
     parser.add_argument("--cache-dir", default=None,
                         help="content-addressed result cache directory")
-    parser.add_argument("--output", default="experiments_output.txt",
-                        help="where to write the rendered report")
+    parser.add_argument("--output",
+                        default="out/experiments_output.txt",
+                        help="where to write the rendered report "
+                             "(default out/experiments_output.txt; "
+                             "parent directories are created)")
     args = parser.parse_args(argv)
     if args.scale_opt is not None:
         args.scale = args.scale_opt
@@ -59,7 +64,10 @@ def main(argv=None):
               f"(cache hit rate "
               f"{100.0 * runner.service.cache_hit_rate:.0f}%)")
     text = "\n\n".join(out) + f"\n\n{footer}\n"
-    open(args.output, "w").write(text)
+    output = pathlib.Path(args.output)
+    if output.parent != pathlib.Path("."):
+        output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(text)
     print(text)
 
 
