@@ -6,9 +6,23 @@ a generic iterative dataflow framework
 detectors (:mod:`~repro.analysis.static.opportunities`), the workload
 lint pass (:mod:`~repro.analysis.static.lint`) and the
 :class:`AnalysisReport` facade (:mod:`~repro.analysis.static.report`).
+
+The interprocedural layer: a call graph with SCC condensation
+(:mod:`~repro.analysis.static.callgraph`), constant/value-range
+propagation with a store→load channel
+(:mod:`~repro.analysis.static.valueflow`), value-flow-driven
+supergraph refinement (:mod:`~repro.analysis.static.interproc`) and
+the ineffectuality oracle
+(:mod:`~repro.analysis.static.ineffectuality`).
 See ``docs/static-analysis.md``.
 """
 
+from repro.analysis.static.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionInfo,
+    build_call_graph,
+)
 from repro.analysis.static.cfg import (
     BasicBlock,
     ControlFlowGraph,
@@ -25,6 +39,17 @@ from repro.analysis.static.dataflow import (
     def_use_chains,
     solve,
 )
+from repro.analysis.static.ineffectuality import (
+    INEFF_CLASSES,
+    IneffectualitySites,
+    MustUse,
+    classify_ineffectuality,
+    ineffectuality_sites,
+)
+from repro.analysis.static.interproc import (
+    InterprocAnalysis,
+    interprocedural_analysis,
+)
 from repro.analysis.static.lint import LintFinding, lint_program
 from repro.analysis.static.opportunities import (
     BlockPressure,
@@ -34,29 +59,55 @@ from repro.analysis.static.opportunities import (
     placement_pressure,
     possible_move_sources,
 )
-from repro.analysis.static.report import AnalysisReport, analyze_program
+from repro.analysis.static.report import (
+    AnalysisReport,
+    InterprocReport,
+    analyze_program,
+)
+from repro.analysis.static.valueflow import (
+    AbstractValue,
+    ValueFlow,
+    ValueFlowAnalysis,
+    solve_valueflow,
+)
 
 __all__ = [
+    "AbstractValue",
     "AnalysisReport",
     "BasicBlock",
     "BlockPressure",
+    "CallGraph",
+    "CallSite",
     "ControlFlowGraph",
     "DataflowAnalysis",
     "DataflowResult",
     "ENTRY_DEF",
     "ENTRY_REGS",
+    "FunctionInfo",
+    "INEFF_CLASSES",
+    "IneffectualitySites",
+    "InterprocAnalysis",
+    "InterprocReport",
     "LintFinding",
     "Liveness",
     "Loop",
+    "MustUse",
     "OpportunitySites",
     "ReachingDefinitions",
+    "ValueFlow",
+    "ValueFlowAnalysis",
     "analyze_program",
     "block_pressure",
+    "build_call_graph",
     "build_cfg",
+    "classify_ineffectuality",
     "def_use_chains",
     "find_opportunities",
+    "ineffectuality_sites",
+    "interprocedural_analysis",
     "lint_program",
     "placement_pressure",
     "possible_move_sources",
     "solve",
+    "solve_valueflow",
 ]

@@ -1,0 +1,208 @@
+"""The ineffectuality oracle: sound per-PC candidate classification.
+
+Three classes of *ineffectual* execution, following the dynamic-
+ineffectuality literature the ROADMAP's steering work builds on:
+
+* **dead write** — an instruction whose register result is overwritten
+  (or the program ends) before any read;
+* **silent store** — a store that writes exactly the bytes already in
+  memory;
+* **predictable value** — a value-producing instruction that produces
+  the same value twice in a row.
+
+Each is a *dynamic* property of one execution of one PC. This module
+computes static candidate sets with the containment guarantee the
+harness cross-checker enforces: every PC the dynamic ineffectuality
+log (:mod:`repro.core.stages.ineff`) can ever record is inside the
+static set. The sets are built by *exclusion* — start from every
+eligible PC and remove only those provably never ineffectual:
+
+* dead-write candidates keep any PC whose destination is not
+  **must-used** (read on *every* outgoing path before any overwrite) —
+  a backward all-paths analysis, the intersection dual of liveness;
+* predictable-value candidates drop only strict self-inductions
+  (``addi r, r, imm`` with ``imm != 0`` whose sole reaching definition
+  of ``r`` is the instruction itself — consecutive results always
+  differ by a non-zero constant mod 2^32);
+* silent-store candidates drop only word stores through a singleton
+  constant address whose abstract stored value is provably disjoint
+  from the abstract memory contents at that point.
+
+Statically unreachable PCs (value-flow BOTTOM on the refined
+supergraph) are excluded from all three sets: they cannot be observed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.analysis.static.cfg import ControlFlowGraph
+from repro.analysis.static.dataflow import (
+    ENTRY_DEF,
+    SYSCALL_USES,
+    DataflowAnalysis,
+    DataflowResult,
+    ReachingDefinitions,
+    ReachingMap,
+    instr_defs,
+    instr_uses,
+    solve,
+)
+from repro.analysis.static.valueflow import (
+    ValueFlow,
+    definitely_not_equal,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.semantics import to_u32
+
+#: the ineffectuality classes with a dynamic observation to bound.
+INEFF_CLASSES: Tuple[str, ...] = ("dead_write", "silent_store",
+                                  "predictable")
+
+FULL_MASK = 0xFFFFFFFF
+
+_SYSCALL_MASK = 0
+for _reg in SYSCALL_USES:
+    _SYSCALL_MASK |= 1 << _reg
+
+
+class MustUse(DataflowAnalysis[int]):
+    """Backward *all-paths* register use: bit ``r`` is set at a point
+    iff every path from it reads ``r`` before any redefinition.
+
+    The intersection dual of :class:`~repro.analysis.static.dataflow.
+    Liveness`: join is ``&`` and the optimistic initial value is the
+    full mask. A write whose destination is *not* must-used afterwards
+    may be dynamically dead — the dead-write candidate test.
+
+    A ``SYSCALL`` may terminate the program (exit service), so nothing
+    past it is surely read; its transfer keeps only its own
+    out-of-band uses.
+    """
+
+    forward = False
+
+    def boundary(self, cfg: ControlFlowGraph) -> int:
+        return 0
+
+    def initial(self, cfg: ControlFlowGraph) -> int:
+        return FULL_MASK
+
+    def join(self, a: int, b: int) -> int:
+        return a & b
+
+    def transfer(self, instr: Instruction, value: int) -> int:
+        if instr.op is Op.SYSCALL:
+            return _SYSCALL_MASK
+        for dest in instr_defs(instr):
+            value &= ~(1 << dest)
+        for use in instr_uses(instr):
+            value |= 1 << use
+        return value
+
+
+@dataclass(frozen=True)
+class IneffectualitySites:
+    """Static candidate sets per ineffectuality class.
+
+    ``constants`` is the definitely-predictable refinement: PCs whose
+    abstract result is a single known constant (always-same value, so
+    predictable from the second execution on). Always a subset of
+    ``predictable``.
+    """
+
+    dead_writes: FrozenSet[int]
+    silent_stores: FrozenSet[int]
+    predictable: FrozenSet[int]
+    constants: FrozenSet[int]
+
+    def as_sets(self) -> Dict[str, FrozenSet[int]]:
+        return {"dead_write": self.dead_writes,
+                "silent_store": self.silent_stores,
+                "predictable": self.predictable}
+
+    def counts(self) -> Dict[str, int]:
+        return {name: len(pcs) for name, pcs in self.as_sets().items()}
+
+
+def _is_self_induction(instr: Instruction, reach: ReachingMap) -> bool:
+    """``addi r, r, imm`` (imm != 0) reached only by itself (and the
+    loader): consecutive executions always differ by ``imm`` mod 2^32,
+    so the PC can never produce the same value twice in a row."""
+    if instr.op is not Op.ADDI or not instr.imm:
+        return False
+    if instr.dest() is None or instr.rd != instr.rs:
+        return False
+    defs = reach.get(instr.rs or 0, frozenset())
+    return defs <= {instr.pc or 0, ENTRY_DEF}
+
+
+def _provably_not_silent(instr: Instruction, vf: ValueFlow) -> bool:
+    """Word store whose value provably differs from the bytes present."""
+    if instr.op not in (Op.SW, Op.SWX):
+        return False
+    state = vf.state_before(instr.pc or 0)
+    if state is None:
+        return True                 # unreachable: never observed
+    analysis = vf.analysis
+    addr, stored = analysis.store_parts(instr, state)
+    target = addr.singleton()
+    if target is None or to_u32(target) % 4:
+        return False
+    content = analysis.load_from(state.memory, addr, 4, signed=True)
+    return definitely_not_equal(stored, content)
+
+
+def classify_ineffectuality(
+        cfg: ControlFlowGraph, vf: ValueFlow,
+        reaching: DataflowResult[ReachingMap]) -> IneffectualitySites:
+    """Build the candidate sets over *cfg* (the refined supergraph)."""
+    mustuse = solve(cfg, MustUse())
+    dead: Set[int] = set()
+    silent: Set[int] = set()
+    predictable: Set[int] = set()
+    constants: Set[int] = set()
+    for block in cfg.blocks:
+        mu_values = mustuse.instr_values(block.index)
+        rd_values = reaching.instr_values(block.index)
+        for instr, mu_after, reach in zip(block.instrs, mu_values,
+                                          rd_values):
+            pc = instr.pc or 0
+            if vf.state_before(pc) is None:
+                continue             # statically unreachable
+            dest = instr.dest()
+            if dest is not None:
+                if not (mu_after >> dest) & 1:
+                    dead.add(pc)
+                if not _is_self_induction(instr, reach):
+                    predictable.add(pc)
+                    value = vf.dest_value(instr)
+                    if value is not None \
+                            and value.singleton() is not None:
+                        constants.add(pc)
+            if instr.is_store() and not _provably_not_silent(instr, vf):
+                silent.add(pc)
+    return IneffectualitySites(
+        dead_writes=frozenset(dead),
+        silent_stores=frozenset(silent),
+        predictable=frozenset(predictable),
+        constants=frozenset(constants))
+
+
+def ineffectuality_sites(cfg: ControlFlowGraph,
+                         vf: ValueFlow) -> IneffectualitySites:
+    """Convenience wrapper solving reaching definitions itself."""
+    reaching = solve(cfg, ReachingDefinitions())
+    return classify_ineffectuality(cfg, vf, reaching)
+
+
+__all__ = [
+    "FULL_MASK",
+    "INEFF_CLASSES",
+    "IneffectualitySites",
+    "MustUse",
+    "classify_ineffectuality",
+    "ineffectuality_sites",
+]

@@ -1,0 +1,210 @@
+"""The interprocedural layer: value-flow-refined supergraph + oracle.
+
+The base CFG (:mod:`~repro.analysis.static.cfg`) is deliberately
+coarse at indirect transfers: a ``JR $ra`` edges to *every* return
+site and a jump table to *every* labelled address. That coarseness is
+what makes the PR 4 opportunity bounds loose across calls — facts from
+unrelated callers join at every return site.
+
+This module sharpens exactly those edges, using only *provable*
+value-flow facts, so the refined graph still covers every dynamic
+transition:
+
+* an indirect jump or call whose register carries a small constant set
+  (``JAL`` link values are constants, and constants survive the
+  store→load channel across save/restore) edges to exactly those
+  targets;
+* a conditional branch whose outcome is decided by the abstract state
+  keeps only the feasible edge;
+* a block the value flow proves unreachable keeps no out-edges.
+
+Anything unprovable keeps the base over-approximation. Refinement and
+value flow iterate (each tighter graph may prove more) up to
+*max_rounds* or until the edge set is stable. The refined graph then
+feeds the PR 4 opportunity detectors (bounds can only tighten — the
+analysis is monotone in the edge set, and the result is intersected
+with the intraprocedural bound as a hard guarantee), the call graph,
+and the ineffectuality oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.static.callgraph import CallGraph, build_call_graph
+from repro.analysis.static.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    build_cfg,
+    direct_target,
+)
+from repro.analysis.static.dataflow import ReachingDefinitions, solve
+from repro.analysis.static.ineffectuality import (
+    IneffectualitySites,
+    classify_ineffectuality,
+)
+from repro.analysis.static.opportunities import (
+    OpportunitySites,
+    find_opportunities,
+)
+from repro.analysis.static.valueflow import (
+    ValueFlow,
+    branch_decision,
+    solve_valueflow,
+)
+from repro.isa.opcodes import Op
+from repro.isa.semantics import to_u32
+from repro.program.image import Program
+
+
+@dataclass
+class InterprocAnalysis:
+    """Everything the interprocedural layer derived from one program."""
+
+    cfg: ControlFlowGraph          # the refined supergraph
+    valueflow: ValueFlow           # solved over the refined graph
+    call_graph: CallGraph
+    sites: OpportunitySites        # tightened opportunity bounds
+    ineff: IneffectualitySites
+    rounds: int                    # refinement rounds that changed edges
+    #: JR/JALR PC -> provably exact target PCs
+    resolved_jumps: Dict[int, Tuple[int, ...]]
+    #: branch PC -> provably constant direction
+    decided_branches: Dict[int, bool]
+    #: total indirect transfers (JR/JALR) in the program
+    indirect_jumps: int
+
+
+def _valid_targets(cfg: ControlFlowGraph,
+                   values: Optional[frozenset]) -> Optional[Tuple[int, ...]]:
+    """Map a constant set to block-start target PCs, or ``None`` when
+    any member is not a linkable block start (fall back to the base
+    over-approximation)."""
+    if values is None:
+        return None
+    targets = []
+    for value in values:
+        target = to_u32(value)
+        if not cfg.program.contains_pc(target) \
+                or cfg.block_starting(target) is None:
+            return None
+        targets.append(target)
+    return tuple(sorted(targets))
+
+
+def _refine_once(cfg: ControlFlowGraph, vf: ValueFlow
+                 ) -> Tuple[Dict[int, Tuple[int, ...]],
+                            Dict[int, Tuple[int, ...]],
+                            Dict[int, bool]]:
+    """One resolution pass: per-block successor overrides (as target
+    PCs), the resolved indirect jumps and the decided branches."""
+    overrides: Dict[int, Tuple[int, ...]] = {}
+    resolved: Dict[int, Tuple[int, ...]] = {}
+    decided: Dict[int, bool] = {}
+    for block in cfg.blocks:
+        last = block.last
+        pc = last.pc or 0
+        state = vf.state_before(pc)
+        if state is None:
+            if block.succs and block.index != cfg.entry:
+                overrides[block.index] = ()
+            continue
+        if last.op in (Op.JR, Op.JALR):
+            value = state.reg(last.rs)
+            targets = _valid_targets(
+                cfg, value.values if value.is_const else None)
+            if targets is not None:
+                overrides[block.index] = targets
+                resolved[pc] = targets
+        elif last.is_cond_branch():
+            decision = branch_decision(last, state)
+            if decision is None:
+                continue
+            target = direct_target(last) if decision else pc + 4
+            if target is not None and cfg.program.contains_pc(target) \
+                    and cfg.block_starting(target) is not None:
+                overrides[block.index] = (target,)
+                decided[pc] = decision
+    return overrides, resolved, decided
+
+
+def _rebuild(cfg: ControlFlowGraph,
+             overrides: Dict[int, Tuple[int, ...]]) -> ControlFlowGraph:
+    """A structurally identical graph with overridden successor sets."""
+    blocks = [BasicBlock(index=b.index, start=b.start, instrs=b.instrs)
+              for b in cfg.blocks]
+    starts = {b.start: b.index for b in cfg.blocks}
+    for old in cfg.blocks:
+        new = blocks[old.index]
+        if old.index in overrides:
+            seen: List[int] = []
+            for target_pc in overrides[old.index]:
+                index = starts[target_pc]
+                if index not in seen:
+                    seen.append(index)
+            new.succs = seen
+        else:
+            new.succs = list(old.succs)
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.index)
+    return ControlFlowGraph(cfg.program, blocks, cfg.entry,
+                            list(cfg.bad_targets))
+
+
+def _changed(cfg: ControlFlowGraph,
+             overrides: Dict[int, Tuple[int, ...]]) -> bool:
+    for index, target_pcs in overrides.items():
+        current = {cfg.blocks[s].start for s in cfg.blocks[index].succs}
+        if current != set(target_pcs):
+            return True
+    return False
+
+
+def interprocedural_analysis(program: Program, max_shift: int = 3,
+                             max_rounds: int = 3) -> InterprocAnalysis:
+    """Run the full interprocedural analysis over *program*."""
+    cfg = build_cfg(program)
+    intra_sites = find_opportunities(cfg, max_shift=max_shift)
+    vf = solve_valueflow(cfg, program)
+    resolved: Dict[int, Tuple[int, ...]] = {}
+    decided: Dict[int, bool] = {}
+    rounds = 0
+    for _ in range(max_rounds):
+        overrides, new_resolved, new_decided = _refine_once(cfg, vf)
+        resolved.update(new_resolved)
+        decided.update(new_decided)
+        if not _changed(cfg, overrides):
+            break
+        cfg = _rebuild(cfg, overrides)
+        vf = solve_valueflow(cfg, program)
+        rounds += 1
+
+    indirect = sum(1 for instr in program.instructions
+                   if instr.op in (Op.JR, Op.JALR))
+    resolved_calls = {
+        pc: targets for pc, targets in resolved.items()
+        if program.instr_at(pc).op is Op.JALR}
+    call_graph = build_call_graph(cfg, resolved_calls or None)
+
+    tight = find_opportunities(cfg, max_shift=max_shift)
+    # The refined graph's edge set is contained in the base graph's on
+    # every sound program, which already implies tighter-or-equal
+    # bounds; the intersection makes "never looser than PR 4" a
+    # structural guarantee rather than a theorem about the input.
+    sites = OpportunitySites(
+        moves=tight.moves & intra_sites.moves,
+        reassoc=tight.reassoc & intra_sites.reassoc,
+        scaled=tight.scaled & intra_sites.scaled)
+
+    reaching = solve(cfg, ReachingDefinitions())
+    ineff = classify_ineffectuality(cfg, vf, reaching)
+
+    return InterprocAnalysis(
+        cfg=cfg, valueflow=vf, call_graph=call_graph, sites=sites,
+        ineff=ineff, rounds=rounds, resolved_jumps=resolved,
+        decided_branches=decided, indirect_jumps=indirect)
+
+
+__all__ = ["InterprocAnalysis", "interprocedural_analysis"]

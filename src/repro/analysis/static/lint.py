@@ -17,6 +17,17 @@ image (no execution involved):
   afterwards. Warning severity: the over-approximate CFG *under*\\-
   states deadness never, but ABI-style bookkeeping (saving a register
   that is only conditionally reused) is legitimate.
+
+Two more rules activate when the caller supplies a call graph
+(:func:`repro.analysis.static.callgraph.build_call_graph`):
+
+* ``unreachable-function`` (warning) — a discovered function entry no
+  chain of call edges from the program entry reaches. The call edges
+  over-approximate (unresolved indirect calls edge everywhere), so a
+  report means *no* real path can call the function either.
+* ``missing-return`` (warning) — a function whose CFG can fall off the
+  end of its extent into the following function: control arrives at
+  the next function without any call. Usually a forgotten ``jr $ra``.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.analysis.static.callgraph import CallGraph
 from repro.analysis.static.cfg import ControlFlowGraph
 from repro.analysis.static.dataflow import (
     Liveness,
@@ -51,22 +63,35 @@ class LintFinding:
         return f"[{self.severity}] {where}{self.rule}: {self.message}"
 
 
-def lint_program(cfg: ControlFlowGraph) -> List[LintFinding]:
-    """Run every rule over *cfg*; findings sorted by address."""
+def lint_program(cfg: ControlFlowGraph,
+                 call_graph: Optional[CallGraph] = None
+                 ) -> List[LintFinding]:
+    """Run every rule over *cfg*; findings sorted by address.
+
+    With a *call_graph* the two interprocedural rules
+    (``unreachable-function``, ``missing-return``) run as well.
+    """
     findings: List[LintFinding] = []
     findings.extend(_bad_branch_targets(cfg))
     reachable = cfg.reachable()
     findings.extend(_unreachable_blocks(cfg, reachable))
     findings.extend(_undefined_reads(cfg, reachable))
     findings.extend(_dead_writes(cfg, reachable))
+    if call_graph is not None:
+        findings.extend(_unreachable_functions(call_graph))
+        findings.extend(_missing_returns(call_graph))
     findings.sort(key=lambda f: (f.pc if f.pc is not None else -1, f.rule))
     return findings
 
 
-def lint_counts(findings: List[LintFinding]) -> Dict[str, int]:
-    """Per-rule finding counts (the CI baseline's unit of regression)."""
+def lint_counts(findings: List[LintFinding],
+                severity: Optional[str] = None) -> Dict[str, int]:
+    """Per-rule finding counts (the CI baseline's unit of regression),
+    optionally restricted to one severity."""
     counts: Dict[str, int] = {}
     for finding in findings:
+        if severity is not None and finding.severity != severity:
+            continue
         counts[finding.rule] = counts.get(finding.rule, 0) + 1
     return counts
 
@@ -129,6 +154,30 @@ def _dead_writes(cfg: ControlFlowGraph,
                 rule="dead-write", severity=WARNING, pc=instr.pc,
                 message=f"writes ${reg_name(dest)} but the value is "
                         f"never read"))
+    return out
+
+
+def _unreachable_functions(call_graph: CallGraph) -> List[LintFinding]:
+    reachable = call_graph.reachable()
+    out = []
+    for entry, info in call_graph.functions.items():
+        if entry not in reachable:
+            out.append(LintFinding(
+                rule="unreachable-function", severity=WARNING,
+                pc=entry,
+                message=f"function {info.name} is never called from "
+                        f"the program entry"))
+    return out
+
+
+def _missing_returns(call_graph: CallGraph) -> List[LintFinding]:
+    out = []
+    for entry, info in call_graph.functions.items():
+        for pc in info.fall_off:
+            out.append(LintFinding(
+                rule="missing-return", severity=WARNING, pc=pc,
+                message=f"function {info.name} can fall off its end "
+                        f"into the next function"))
     return out
 
 

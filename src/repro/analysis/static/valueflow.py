@@ -1,0 +1,607 @@
+"""Interprocedural constant / value-range propagation.
+
+One forward dataflow problem over the whole-program supergraph (the
+over-approximate CFG of :mod:`~repro.analysis.static.cfg`, where call
+and return edges are ordinary edges), reusing the PR 4 worklist solver.
+Context-insensitive: every path into a block joins into one abstract
+state, so a fact at a PC holds for *every* dynamic occurrence of that
+PC — exactly the per-PC soundness the ineffectuality oracle and the
+edge-refinement layer need.
+
+The value domain is finite-height by construction, which is what makes
+the solver terminate on counting loops without a separate widening
+pass:
+
+* ``CONST`` — a set of at most :data:`MAX_CONSTS` known 32-bit values
+  (link addresses, table entries, small loop counters);
+* ``RANGE`` — a signed interval whose bounds are snapped *outward* to a
+  fixed threshold ladder (powers of two), so any chain of range joins
+  climbs the ladder at most twice per side;
+* ``TOP`` — no information.
+
+Memory is abstracted as a map from concrete word addresses to values —
+the store→load channel. A store through a singleton-constant address is
+a strong update (the address is exact on every path through that
+point); a store through a small constant set is a weak update; a store
+through anything wider havocs the whole map. Addresses never stored
+keep their loader-image contents, so the map only carries the delta
+against the initial image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.static.cfg import ControlFlowGraph
+from repro.analysis.static.dataflow import DataflowAnalysis, DataflowResult, solve
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.isa.semantics import to_s32, to_u32
+from repro.machine.memory import Memory
+from repro.program.image import Program
+from repro.program.loader import STACK_TOP, load_program
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+#: largest CONST set before collapsing to a RANGE.
+MAX_CONSTS = 8
+
+#: widening ladder: RANGE bounds snap outward onto these values, so
+#: every chain of joins reaches a fixpoint in a bounded number of steps.
+THRESHOLDS: Tuple[int, ...] = tuple(sorted(
+    {INT_MIN, INT_MAX, 0}
+    | {1 << k for k in range(31)}
+    | {-(1 << k) for k in range(31)}))
+
+#: abstract-memory size cap; beyond it the map havocs (termination and
+#: blow-up guard, never hit by the seed workloads).
+MAX_CELLS = 4096
+
+_KIND_CONST = 0
+_KIND_RANGE = 1
+_KIND_TOP = 2
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One point of the CONST-set / RANGE / TOP lattice."""
+
+    kind: int
+    values: FrozenSet[int] = frozenset()
+    lo: int = INT_MIN
+    hi: int = INT_MAX
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.kind == _KIND_TOP
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == _KIND_CONST
+
+    def singleton(self) -> Optional[int]:
+        """The one known value, or ``None``."""
+        if self.kind == _KIND_CONST and len(self.values) == 1:
+            return next(iter(self.values))
+        return None
+
+    def min(self) -> Optional[int]:
+        if self.kind == _KIND_CONST:
+            return min(self.values)
+        if self.kind == _KIND_RANGE:
+            return self.lo
+        return None
+
+    def max(self) -> Optional[int]:
+        if self.kind == _KIND_CONST:
+            return max(self.values)
+        if self.kind == _KIND_RANGE:
+            return self.hi
+        return None
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        if self.kind == _KIND_CONST:
+            return "{%s}" % ", ".join(str(v) for v in sorted(self.values))
+        if self.kind == _KIND_RANGE:
+            return f"[{self.lo}, {self.hi}]"
+        return "TOP"
+
+
+TOP = AbstractValue(kind=_KIND_TOP)
+ZERO: AbstractValue   # defined below via const()
+
+
+def const(*values: int) -> AbstractValue:
+    """A CONST set (collapses to a RANGE past :data:`MAX_CONSTS`)."""
+    vals = frozenset(to_s32(v) for v in values)
+    if not vals:
+        return TOP
+    if len(vals) > MAX_CONSTS:
+        return value_range(min(vals), max(vals))
+    return AbstractValue(kind=_KIND_CONST, values=vals)
+
+
+ZERO = const(0)
+
+
+def _snap_lo(value: int) -> int:
+    for threshold in reversed(THRESHOLDS):
+        if threshold <= value:
+            return threshold
+    return INT_MIN
+
+
+def _snap_hi(value: int) -> int:
+    for threshold in THRESHOLDS:
+        if threshold >= value:
+            return threshold
+    return INT_MAX
+
+
+def value_range(lo: int, hi: int) -> AbstractValue:
+    """A RANGE with bounds snapped outward onto the threshold ladder."""
+    if lo > hi:
+        return TOP
+    lo, hi = _snap_lo(max(lo, INT_MIN)), _snap_hi(min(hi, INT_MAX))
+    if lo <= INT_MIN and hi >= INT_MAX:
+        return TOP
+    return AbstractValue(kind=_KIND_RANGE, lo=lo, hi=hi)
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.is_top or b.is_top:
+        return TOP
+    if a.is_const and b.is_const:
+        return const(*(a.values | b.values))
+    a_min, a_max = a.min(), a.max()
+    b_min, b_max = b.min(), b.max()
+    assert a_min is not None and b_min is not None
+    assert a_max is not None and b_max is not None
+    return value_range(min(a_min, b_min), max(a_max, b_max))
+
+
+def definitely_not_equal(a: AbstractValue, b: AbstractValue) -> bool:
+    """Whether no concretisation of *a* can equal one of *b*."""
+    if a.is_const and b.is_const:
+        return not (a.values & b.values)
+    a_min, a_max, b_min, b_max = a.min(), a.max(), b.min(), b.max()
+    if None in (a_min, a_max, b_min, b_max):
+        return False
+    assert a_max is not None and b_min is not None
+    assert b_max is not None and a_min is not None
+    return a_max < b_min or b_max < a_min
+
+
+# ----------------------------------------------------------------------
+# Abstract arithmetic
+# ----------------------------------------------------------------------
+
+def _lift2(a: AbstractValue, b: AbstractValue, op) -> AbstractValue:
+    """Pointwise application over two small CONST sets, else TOP."""
+    if (a.is_const and b.is_const
+            and len(a.values) * len(b.values) <= 2 * MAX_CONSTS):
+        return const(*(op(x, y) for x in a.values for y in b.values))
+    return TOP
+
+
+def av_add(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    out = _lift2(a, b, lambda x, y: to_s32(x + y))
+    if not out.is_top:
+        return out
+    a_min, a_max, b_min, b_max = a.min(), a.max(), b.min(), b.max()
+    if None in (a_min, a_max, b_min, b_max):
+        return TOP
+    assert a_min is not None and b_min is not None
+    assert a_max is not None and b_max is not None
+    lo, hi = a_min + b_min, a_max + b_max
+    if lo < INT_MIN or hi > INT_MAX:
+        return TOP              # may wrap: no interval is sound
+    return value_range(lo, hi)
+
+
+def av_sub(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    out = _lift2(a, b, lambda x, y: to_s32(x - y))
+    if not out.is_top:
+        return out
+    a_min, a_max, b_min, b_max = a.min(), a.max(), b.min(), b.max()
+    if None in (a_min, a_max, b_min, b_max):
+        return TOP
+    assert a_min is not None and b_min is not None
+    assert a_max is not None and b_max is not None
+    lo, hi = a_min - b_max, a_max - b_min
+    if lo < INT_MIN or hi > INT_MAX:
+        return TOP
+    return value_range(lo, hi)
+
+
+def _av_cmp_signed(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Abstract ``slt``: {0}, {1} or [0, 1]."""
+    out = _lift2(a, b, lambda x, y: int(x < y))
+    if not out.is_top:
+        return out
+    a_min, a_max, b_min, b_max = a.min(), a.max(), b.min(), b.max()
+    if None not in (a_min, a_max, b_min, b_max):
+        assert a_max is not None and b_min is not None
+        assert a_min is not None and b_max is not None
+        if a_max < b_min:
+            return const(1)
+        if a_min >= b_max:
+            return const(0)
+    return AbstractValue(kind=_KIND_RANGE, lo=0, hi=1)
+
+
+_CONST_ONLY_ALU3 = {
+    Op.AND: lambda x, y: to_s32(x & y),
+    Op.OR: lambda x, y: to_s32(x | y),
+    Op.XOR: lambda x, y: to_s32(x ^ y),
+    Op.NOR: lambda x, y: to_s32(~(x | y)),
+    Op.SLTU: lambda x, y: int(to_u32(x) < to_u32(y)),
+    Op.MULT: lambda x, y: to_s32(x * y),
+}
+
+_CONST_ONLY_ALUI = {
+    Op.ORI: lambda x, i: to_s32(x | i),
+    Op.XORI: lambda x, i: to_s32(x ^ i),
+    Op.SLTIU: lambda x, i: int(to_u32(x) < to_u32(i)),
+}
+
+_SHIFT_OPS = {
+    Op.SLL: lambda x, s: to_s32(x << s),
+    Op.SRL: lambda x, s: to_s32(to_u32(x) >> s),
+    Op.SRA: lambda x, s: to_s32(x >> s),
+}
+
+
+# ----------------------------------------------------------------------
+# Abstract machine state
+# ----------------------------------------------------------------------
+
+RegVals = Tuple[AbstractValue, ...]
+
+
+@dataclass(frozen=True)
+class AbstractMemory:
+    """Word-granular store→load map, keyed on concrete addresses.
+
+    ``cells`` holds only the delta over the loader image: a missing key
+    means "never stored on any path here", so its contents are the
+    initial image bytes. ``havoc`` means a store went through an
+    unknown address — any cell may hold anything.
+    """
+
+    havoc: bool = False
+    cells: Tuple[Tuple[int, AbstractValue], ...] = ()
+
+    def as_dict(self) -> Dict[int, AbstractValue]:
+        return dict(self.cells)
+
+
+_EMPTY_MEMORY = AbstractMemory()
+
+
+def _pack(cells: Dict[int, AbstractValue]) -> AbstractMemory:
+    if len(cells) > MAX_CELLS:
+        return AbstractMemory(havoc=True)
+    return AbstractMemory(havoc=False,
+                          cells=tuple(sorted(cells.items())))
+
+
+@dataclass(frozen=True)
+class VFState:
+    """Register file plus abstract memory at one program point."""
+
+    regs: RegVals
+    memory: AbstractMemory
+
+    def reg(self, index: Optional[int]) -> AbstractValue:
+        if index is None:
+            return TOP
+        if index == 0:
+            return ZERO
+        return self.regs[index]
+
+    def with_reg(self, index: int, value: AbstractValue) -> "VFState":
+        if index == 0:
+            return self
+        regs = list(self.regs)
+        regs[index] = value
+        return VFState(regs=tuple(regs), memory=self.memory)
+
+
+#: BOTTOM (unreachable) is modelled as ``None``.
+VFValue = Optional[VFState]
+
+
+class ValueFlowAnalysis(DataflowAnalysis[VFValue]):
+    """The interprocedural constant/range propagation problem."""
+
+    forward = True
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._image = Memory()
+        load_program(program, self._image)
+
+    # -- lattice hooks -------------------------------------------------
+
+    def boundary(self, cfg: ControlFlowGraph) -> VFValue:
+        # The loader zero-fills the register file, then sets $sp/$gp.
+        regs = [ZERO] * 32
+        regs[29] = const(STACK_TOP)
+        regs[28] = const(self.program.data_base)
+        return VFState(regs=tuple(regs), memory=_EMPTY_MEMORY)
+
+    def initial(self, cfg: ControlFlowGraph) -> VFValue:
+        return None
+
+    def join(self, a: VFValue, b: VFValue) -> VFValue:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        regs = tuple(join_values(x, y) for x, y in zip(a.regs, b.regs))
+        return VFState(regs=regs, memory=self._join_memory(a.memory,
+                                                           b.memory))
+
+    def _join_memory(self, a: AbstractMemory,
+                     b: AbstractMemory) -> AbstractMemory:
+        if a.havoc or b.havoc:
+            return AbstractMemory(havoc=True)
+        if a.cells == b.cells:
+            return a
+        cells_a, cells_b = a.as_dict(), b.as_dict()
+        out: Dict[int, AbstractValue] = {}
+        for addr in set(cells_a) | set(cells_b):
+            # A key missing on one side means that path never stored
+            # there: its contents are still the loader image's.
+            va = cells_a.get(addr, self._image_word(addr))
+            vb = cells_b.get(addr, self._image_word(addr))
+            out[addr] = join_values(va, vb)
+        return _pack(out)
+
+    # -- the loader image ----------------------------------------------
+
+    def _image_word(self, addr: int) -> AbstractValue:
+        return self._image_load(addr, 4, signed=True)
+
+    def _image_load(self, addr: int, size: int,
+                    signed: bool) -> AbstractValue:
+        if addr < 0 or addr + size > (1 << 32):
+            return TOP
+        raw = self._image.read_bytes(addr, size)
+        return const(int.from_bytes(raw, "little", signed=signed))
+
+    # -- abstract memory operations ------------------------------------
+
+    def _mem_store(self, memory: AbstractMemory, addr: AbstractValue,
+                   size: int, value: AbstractValue) -> AbstractMemory:
+        if memory.havoc:
+            return memory
+        if not addr.is_const:
+            return AbstractMemory(havoc=True)
+        cells = memory.as_dict()
+        strong = addr.singleton() is not None
+        for a in addr.values:
+            a = to_u32(a)
+            if size == 4 and a % 4 == 0:
+                stored = value
+            else:
+                stored = TOP           # sub-word or unaligned: give up
+            words = {a - a % 4, (a + size - 1) - (a + size - 1) % 4}
+            for word in words:
+                if size == 4 and a % 4 == 0 and strong:
+                    cells[word] = stored
+                else:
+                    old = cells.get(word, self._image_word(word))
+                    cells[word] = join_values(old, stored)
+        return _pack(cells)
+
+    def load_from(self, memory: AbstractMemory, addr: AbstractValue,
+                  size: int, signed: bool) -> AbstractValue:
+        if memory.havoc or not addr.is_const:
+            return TOP
+        cells = memory.as_dict()
+        out: Optional[AbstractValue] = None
+        for a in addr.values:
+            a = to_u32(a)
+            word = a - a % 4
+            if size == 4 and a % 4 == 0:
+                value = cells.get(word, self._image_load(a, 4, signed))
+            elif word in cells or (a + size - 1) - (a + size - 1) % 4 \
+                    in cells:
+                value = TOP     # sub-word read of a stored-to word
+            else:
+                value = self._image_load(a, size, signed)
+            out = value if out is None else join_values(out, value)
+        return TOP if out is None else out
+
+    # -- transfer ------------------------------------------------------
+
+    def transfer(self, instr: Instruction, value: VFValue) -> VFValue:
+        if value is None:
+            return None
+        state = value
+        op = instr.op
+        pc = instr.pc or 0
+
+        if op in (Op.JAL, Op.JALR):
+            dest = instr.dest()
+            if dest is not None:
+                return state.with_reg(dest, const(pc + 4))
+            return state
+        dest = instr.dest()
+        if instr.is_store():
+            addr, stored = self.store_parts(instr, state)
+            size = {Op.SW: 4, Op.SH: 2, Op.SB: 1,
+                    Op.SWX: 4, Op.SBX: 1}[op]
+            memory = self._mem_store(state.memory, addr, size, stored)
+            return VFState(regs=state.regs, memory=memory)
+        if dest is None:
+            return state            # branches, jumps, syscall, nop
+        return state.with_reg(dest, self.eval_dest(instr, state))
+
+    def store_parts(self, instr: Instruction, state: VFState
+                     ) -> Tuple[AbstractValue, AbstractValue]:
+        if instr.op in (Op.SWX, Op.SBX):
+            addr = av_add(state.reg(instr.rs), state.reg(instr.rt))
+            return addr, state.reg(instr.rd)
+        addr = av_add(state.reg(instr.rs), const(instr.imm or 0))
+        return addr, state.reg(instr.rt)
+
+    def eval_dest(self, instr: Instruction,
+                  state: VFState) -> AbstractValue:
+        """Abstract value *instr* writes to its destination."""
+        op = instr.op
+        a = state.reg(instr.rs)
+        if op is Op.ADD:
+            return av_add(a, state.reg(instr.rt))
+        if op is Op.SUB:
+            return av_sub(a, state.reg(instr.rt))
+        if op is Op.ADDI:
+            return av_add(a, const(instr.imm or 0))
+        if op is Op.SLT:
+            return _av_cmp_signed(a, state.reg(instr.rt))
+        if op is Op.SLTI:
+            return _av_cmp_signed(a, const(instr.imm or 0))
+        if op in _CONST_ONLY_ALU3:
+            return _lift2(a, state.reg(instr.rt), _CONST_ONLY_ALU3[op])
+        if op in _CONST_ONLY_ALUI:
+            return _lift2(a, const(instr.imm or 0),
+                          _CONST_ONLY_ALUI[op])
+        if op is Op.ANDI:
+            imm = instr.imm or 0
+            out = _lift2(a, const(imm), lambda x, i: to_s32(x & i))
+            if out.is_top and imm >= 0:
+                return value_range(0, imm)
+            return out
+        if op is Op.DIV:
+            return _lift2(a, state.reg(instr.rt), _abstract_div)
+        if op in _SHIFT_OPS:
+            shamt = (instr.imm or 0) & 0x1F
+            return _lift1(a, lambda x: _SHIFT_OPS[op](x, shamt))
+        if op in (Op.SLLV, Op.SRLV, Op.SRAV):
+            base = {Op.SLLV: Op.SLL, Op.SRLV: Op.SRL,
+                    Op.SRAV: Op.SRA}[op]
+            return _lift2(a, state.reg(instr.rt),
+                          lambda x, s: _SHIFT_OPS[base](x, s & 0x1F))
+        if op is Op.LUI:
+            return const(((instr.imm or 0) & 0xFFFF) << 16)
+        if op in (Op.LW, Op.LH, Op.LHU, Op.LB, Op.LBU):
+            size, signed = {Op.LW: (4, True), Op.LH: (2, True),
+                            Op.LHU: (2, False), Op.LB: (1, True),
+                            Op.LBU: (1, False)}[op]
+            addr = av_add(a, const(instr.imm or 0))
+            return self.load_from(state.memory, addr, size, signed)
+        if op in (Op.LWX, Op.LBX):
+            size, signed = (4, True) if op is Op.LWX else (1, True)
+            addr = av_add(a, state.reg(instr.rt))
+            return self.load_from(state.memory, addr, size, signed)
+        return TOP
+
+
+def _lift1(a: AbstractValue, op) -> AbstractValue:
+    if a.is_const:
+        return const(*(op(x) for x in a.values))
+    return TOP
+
+
+def _abstract_div(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return to_s32(-q if (a < 0) != (b < 0) else q)
+
+
+# ----------------------------------------------------------------------
+# Branch and indirect-jump resolution
+# ----------------------------------------------------------------------
+
+def branch_decision(instr: Instruction,
+                    state: VFState) -> Optional[bool]:
+    """``True``/``False`` when the branch provably always goes one way
+    under *state*, else ``None``."""
+    a = state.reg(instr.rs)
+    op = instr.op
+    if op in (Op.BEQ, Op.BNE):
+        b = state.reg(instr.rt)
+        sa, sb = a.singleton(), b.singleton()
+        if sa is not None and sb is not None:
+            taken = sa == sb
+        elif definitely_not_equal(a, b):
+            taken = False
+        else:
+            return None
+        return taken if op is Op.BEQ else not taken
+    a_min, a_max = a.min(), a.max()
+    if a_min is None or a_max is None:
+        return None
+    if op is Op.BLEZ:
+        return True if a_max <= 0 else (False if a_min > 0 else None)
+    if op is Op.BGTZ:
+        return True if a_min > 0 else (False if a_max <= 0 else None)
+    if op is Op.BLTZ:
+        return True if a_max < 0 else (False if a_min >= 0 else None)
+    if op is Op.BGEZ:
+        return True if a_min >= 0 else (False if a_max < 0 else None)
+    return None
+
+
+@dataclass
+class ValueFlow:
+    """Solved value-flow facts plus per-instruction replay helpers."""
+
+    analysis: ValueFlowAnalysis
+    result: DataflowResult[VFValue]
+    #: per-instruction entry state, filled lazily per block.
+    _cache: Dict[int, Dict[int, VFValue]] = field(default_factory=dict)
+
+    def state_before(self, pc: int) -> VFValue:
+        """Abstract state immediately before the instruction at *pc*."""
+        cfg = self.result.cfg
+        block = cfg.block_of(pc)
+        states = self._cache.get(block.index)
+        if states is None:
+            values = self.result.instr_values(block.index)
+            states = {(instr.pc or 0): value
+                      for instr, value in zip(block.instrs, values)}
+            self._cache[block.index] = states
+        return states[pc]
+
+    def dest_value(self, instr: Instruction) -> Optional[AbstractValue]:
+        """Abstract destination value of *instr*, ``None`` when the
+        instruction is unreachable or writes no register."""
+        if instr.dest() is None:
+            return None
+        state = self.state_before(instr.pc or 0)
+        if state is None:
+            return None
+        return self.analysis.eval_dest(instr, state)
+
+
+def solve_valueflow(cfg: ControlFlowGraph,
+                    program: Optional[Program] = None) -> ValueFlow:
+    """Run the propagation to fixpoint over *cfg*."""
+    analysis = ValueFlowAnalysis(program or cfg.program)
+    return ValueFlow(analysis=analysis, result=solve(cfg, analysis))
+
+
+__all__ = [
+    "AbstractValue",
+    "MAX_CONSTS",
+    "TOP",
+    "ValueFlow",
+    "ValueFlowAnalysis",
+    "VFState",
+    "av_add",
+    "av_sub",
+    "branch_decision",
+    "const",
+    "definitely_not_equal",
+    "join_values",
+    "solve_valueflow",
+    "value_range",
+]

@@ -15,7 +15,7 @@ from typing import Optional
 from repro.core.results import OptCoverage, SimResult
 
 SCHEMA_VERSION = 1
-ANALYSIS_SCHEMA_VERSION = 1
+ANALYSIS_SCHEMA_VERSION = 2
 
 
 def result_to_dict(result: SimResult) -> dict:
@@ -89,6 +89,11 @@ def analysis_to_dict(report) -> dict:
         "lint_errors": len(report.lint_errors()),
         "lint_warnings": len(report.lint_warnings()),
     }
+    if report.interproc is not None:
+        payload["derived"]["interproc_bounds"] = \
+            report.interproc.static_bounds()
+        payload["derived"]["ineff_counts"] = \
+            report.interproc.ineff_counts()
     return payload
 
 
@@ -99,13 +104,15 @@ def analysis_from_dict(payload: dict):
         ValueError: on an unknown schema version.
     """
     from repro.analysis.static.lint import LintFinding
-    from repro.analysis.static.report import AnalysisReport
+    from repro.analysis.static.report import AnalysisReport, InterprocReport
     if payload.get("schema") != ANALYSIS_SCHEMA_VERSION:
         raise ValueError(
             f"unknown analysis schema {payload.get('schema')!r}")
     data = {k: v for k, v in payload.items()
             if k not in ("schema", "derived")}
     data["lint"] = [LintFinding(**f) for f in data.get("lint", [])]
+    if data.get("interproc") is not None:
+        data["interproc"] = InterprocReport(**data["interproc"])
     return AnalysisReport(**data)
 
 

@@ -161,6 +161,60 @@ def test_analyze_baseline_regression_fails(tmp_path, capsys):
     assert "regressed" in out and "FAIL" in out
 
 
+def test_analyze_baseline_warning_regression_fails(tmp_path, capsys):
+    import json
+    baseline = tmp_path / "baseline.json"
+    run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+            "--write-baseline", str(baseline))
+    payload = json.loads(baseline.read_text())
+    recorded = payload["benchmarks"]["compress"]
+    # the written shape is severity-split; a warning-count regression
+    # must fail the gate even with errors untouched.
+    assert set(recorded["lint"]) == {"errors", "warnings"}
+    recorded["lint"]["warnings"]["missing-return"] = -1
+    baseline.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--baseline", str(baseline))
+    assert code == 1
+    assert "missing-return" in out and "regressed" in out
+
+
+def test_analyze_interprocedural(capsys):
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--interprocedural")
+    assert code == 0
+    assert "interproc" in out
+    assert "ineff: dw=" in out
+
+
+def test_analyze_interprocedural_baseline_bound_gate(tmp_path, capsys):
+    import json
+    baseline = tmp_path / "baseline.json"
+    run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+            "--interprocedural", "--write-baseline", str(baseline))
+    payload = json.loads(baseline.read_text())
+    recorded = payload["benchmarks"]["compress"]
+    assert "interprocedural" in recorded
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--interprocedural", "--baseline", str(baseline))
+    assert code == 0
+    # a grown interprocedural bound is a loosened analysis: gate fails.
+    recorded["interprocedural"]["sites"]["move_sites"] = -1
+    baseline.write_text(json.dumps(payload))
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--interprocedural", "--baseline", str(baseline))
+    assert code == 1
+    assert "loosened" in out
+
+
+def test_analyze_interprocedural_cross_check(capsys):
+    code, out = run_cli(capsys, "analyze", "compress", "--scale", "0.2",
+                        "--interprocedural", "--cross-check")
+    assert code == 0
+    assert "dead_write" in out and "candidates" in out
+    assert "OK" in out
+
+
 def test_analyze_cross_check(capsys):
     code, out = run_cli(capsys, "analyze", "compress",
                         "--scale", "0.2", "--cross-check")

@@ -122,3 +122,29 @@ def test_backward_direction_instr_values_alignment():
     values = result.instr_values(cfg.entry)
     assert len(values) == len(cfg.blocks[cfg.entry].instrs)
     assert values[-1] == 0       # nothing live after halt
+
+
+def test_single_block_function_dataflow():
+    # a whole function in one basic block: the call graph sees a
+    # single-block extent and dataflow works without any internal edge.
+    from repro.analysis.static.callgraph import build_call_graph
+
+    cfg = build_cfg(assemble("""
+main:
+    jal  tiny
+    li   $v0, 10
+    syscall
+    halt
+tiny:
+    addi $t0, $t0, 5
+    jr   $ra
+"""))
+    graph = build_call_graph(cfg)
+    tiny = cfg.program.symbols["tiny"]
+    info = graph.functions[tiny]
+    assert info.blocks == (cfg.block_of(tiny).index,)
+    assert info.returns and not info.fall_off
+    result = solve(cfg, ReachingDefinitions())
+    jr_pc = tiny + 4
+    reach = _instr_value(cfg, result, jr_pc)
+    assert tiny in reach[T0]

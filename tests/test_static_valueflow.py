@@ -1,0 +1,205 @@
+"""Value-flow propagation, widening, the store→load channel, and the
+refined supergraph's edge-soundness property."""
+
+from repro import workloads
+from repro.analysis.static.cfg import build_cfg
+from repro.analysis.static.interproc import interprocedural_analysis
+from repro.analysis.static.opportunities import find_opportunities
+from repro.analysis.static.valueflow import (
+    TOP,
+    AbstractValue,
+    const,
+    definitely_not_equal,
+    join_values,
+    solve_valueflow,
+    value_range,
+)
+from repro.asm import assemble
+from repro.machine.executor import Executor
+
+T0, T1, T2, RA = 8, 9, 10, 31
+
+
+def _vf(src):
+    cfg = build_cfg(assemble(src))
+    return cfg, solve_valueflow(cfg, cfg.program)
+
+
+# -- the abstract domain -------------------------------------------------
+
+def test_const_sets_join_and_widen():
+    a = const(1, 2)
+    b = const(3)
+    joined = join_values(a, b)
+    assert joined.values == frozenset({1, 2, 3})
+    wide = join_values(const(*range(8)), const(100))
+    assert not wide.is_const          # 9 members: widened to a range
+    assert wide.min() <= 0 and wide.max() >= 100
+
+
+def test_range_bounds_snap_to_the_ladder():
+    v = value_range(3, 100)
+    assert v.lo <= 3 and v.hi >= 100
+    assert v.hi in (127, 128)         # snapped outward onto 2^k ± 1
+
+
+def test_definitely_not_equal():
+    assert definitely_not_equal(const(1), const(2))
+    assert not definitely_not_equal(const(1), const(1, 2))
+    assert not definitely_not_equal(const(1), TOP)
+    assert definitely_not_equal(value_range(0, 4), const(1000))
+
+
+def test_top_absorbs():
+    assert join_values(TOP, const(1)) is TOP
+    assert isinstance(join_values(const(5), TOP), AbstractValue)
+
+
+# -- straight-line propagation ------------------------------------------
+
+def test_constants_propagate_through_alu():
+    cfg, vf = _vf("""
+main:
+    li   $t0, 10
+    addi $t1, $t0, 5
+    add  $t2, $t1, $t0
+    halt
+""")
+    add = next(i for i in cfg.program.instructions
+               if i.op.value == "add")
+    assert vf.dest_value(add).singleton() == 25
+
+
+def test_store_load_channel_carries_constants():
+    cfg, vf = _vf("""
+main:
+    li   $t0, 42
+    addi $sp, $sp, -4
+    sw   $t0, 0($sp)
+    li   $t0, 0
+    lw   $t1, 0($sp)
+    halt
+""")
+    lw = next(i for i in cfg.program.instructions
+              if i.op.value == "lw")
+    assert vf.dest_value(lw).singleton() == 42
+
+
+def test_unknown_address_store_havocs_memory():
+    cfg, vf = _vf("""
+main:
+    li   $t3, 42
+    sw   $t3, 0($sp)
+    li   $t0, 0
+    li   $t1, 64
+loop:
+    sw   $t3, 0($t0)
+    addi $t0, $t0, 4
+    bne  $t0, $t1, loop
+    lw   $t1, 0($sp)
+    halt
+""")
+    loads = [i for i in cfg.program.instructions
+             if i.op.value == "lw"]
+    # the loop stores through a widened (non-singleton) pointer: after
+    # that, the stack slot's contents cannot be trusted.
+    assert vf.dest_value(loads[-1]).is_top
+
+
+def test_widening_terminates_on_counting_loop():
+    # a loop whose counter takes unboundedly many distinct values must
+    # still reach a fixed point through the range ladder.
+    cfg, vf = _vf("""
+main:
+    li   $t0, 0
+    li   $t1, 1000000
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    halt
+""")
+    addi = next(i for i in cfg.program.instructions
+                if i.op.value == "addi"
+                and i.rd == T0 and i.rs == T0 and i.imm == 1)
+    value = vf.dest_value(addi)
+    assert value is not None          # solved, i.e. terminated
+    state = vf.state_before(addi.pc)
+    assert state is not None
+    counter = state.reg(T0)
+    assert counter.singleton() is None  # genuinely many values
+
+
+# -- branch decisions and refinement ------------------------------------
+
+def test_decided_branch_prunes_the_dead_arm():
+    program = assemble("""
+main:
+    li   $t0, 1
+    beq  $t0, $zero, dead
+    li   $v0, 10
+    syscall
+    halt
+dead:
+    addi $t2, $t2, 1
+    halt
+""")
+    ia = interprocedural_analysis(program)
+    beq = next(i for i in program.instructions if i.op.value == "beq")
+    assert ia.decided_branches.get(beq.pc) is False
+    dead_pc = program.symbols["dead"]
+    assert ia.valueflow.state_before(dead_pc) is None
+
+
+def test_return_edges_resolve_to_the_real_caller():
+    program = assemble("""
+main:
+    jal  helper
+    li   $v0, 10
+    syscall
+    halt
+helper:
+    addi $t0, $t0, 1
+    jr   $ra
+""")
+    ia = interprocedural_analysis(program)
+    jr = next(i for i in program.instructions if i.op.value == "jr")
+    # $ra provably holds the single link value: the return edge is
+    # exact.
+    assert ia.resolved_jumps.get(jr.pc) == (program.symbols["main"] + 4,)
+
+
+def test_refined_sites_never_looser():
+    for name in ("compress", "li", "perl"):
+        program = workloads.build(name, 0.2)
+        intra = find_opportunities(build_cfg(program))
+        ia = interprocedural_analysis(program)
+        assert ia.sites.moves <= intra.moves, name
+        assert ia.sites.reassoc <= intra.reassoc, name
+        assert ia.sites.scaled <= intra.scaled, name
+
+
+def test_at_least_one_workload_strictly_tighter():
+    tighter = []
+    for name in ("compress", "li"):
+        program = workloads.build(name, 0.2)
+        intra = find_opportunities(build_cfg(program))
+        ia = interprocedural_analysis(program)
+        if ia.sites.counts()["any_opt"] < intra.counts()["any_opt"]:
+            tighter.append(name)
+    assert tighter
+
+
+def test_refined_graph_still_covers_every_executed_edge():
+    # The soundness property test, against the *refined* supergraph:
+    # value-flow edge pruning must never drop a transition the
+    # functional machine actually takes.
+    for name in workloads.names():
+        program = workloads.build(name, 0.2)
+        ia = interprocedural_analysis(program)
+        trace = Executor(program).run()
+        missing = [(pc, nxt) for pc, nxt in sorted(trace.executed_edges())
+                   if not ia.cfg.has_flow(pc, nxt)]
+        assert missing == [], (
+            f"{name}: executed transitions pruned from the refined "
+            "graph: "
+            + ", ".join(f"{pc:#x}->{nxt:#x}" for pc, nxt in missing[:5]))
