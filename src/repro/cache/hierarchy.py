@@ -14,6 +14,7 @@ uncontended number).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.cache.setassoc import SetAssocCache
 
@@ -38,7 +39,7 @@ class HierarchyConfig:
 class MemoryHierarchy:
     """L1I + L1D backed by a unified L2 backed by memory."""
 
-    def __init__(self, config: HierarchyConfig = None) -> None:
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
         self.config = config if config is not None else HierarchyConfig()
         cfg = self.config
         self.l1i = SetAssocCache(cfg.l1i_size, cfg.l1i_assoc, cfg.l1i_line,
@@ -84,7 +85,7 @@ class MemoryHierarchy:
         for cache in (self.l1i, self.l1d, self.l2):
             cache.flush()
 
-    def stats_summary(self) -> dict:
+    def stats_summary(self) -> Dict[str, Tuple[int, int]]:
         return {
             "l1i": (self.l1i.stats.hits, self.l1i.stats.misses),
             "l1d": (self.l1d.stats.hits, self.l1d.stats.misses),

@@ -9,6 +9,7 @@ simulator needs from its caches.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import ConfigError
 
@@ -63,12 +64,13 @@ class SetAssocCache:
         self._line_shift = line_size.bit_length() - 1
         self._set_mask = self.num_sets - 1
         # set index -> {tag: None}, insertion order == LRU order.
-        self._sets = [dict() for _ in range(self.num_sets)]
+        self._sets: List[Dict[int, None]] = [
+            dict() for _ in range(self.num_sets)]
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
 
-    def _locate(self, addr: int):
+    def _locate(self, addr: int) -> Tuple[Dict[int, None], int]:
         line = addr >> self._line_shift
         return self._sets[line & self._set_mask], line
 
@@ -116,6 +118,29 @@ class SetAssocCache:
 
     def resident_lines(self) -> int:
         return sum(len(entries) for entries in self._sets)
+
+    # -- replay context surface -----------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        """Index of the set that *addr* maps to."""
+        return (addr >> self._line_shift) & self._set_mask
+
+    def set_digest(self, index: int) -> Tuple[int, ...]:
+        """LRU-ordered resident tags of set *index* (oldest first).
+
+        Tags are absolute (address-derived), not cycle-relative: cache
+        residency transitions depend only on the reference sequence,
+        never on cycle numbers, so the digest is position-independent
+        and doubles as the post-visit snapshot for
+        :meth:`restore_set`."""
+        return tuple(self._sets[index])
+
+    def restore_set(self, index: int, tags: Iterable[int]) -> None:
+        """Install a :meth:`set_digest` snapshot into set *index*."""
+        entries = self._sets[index]
+        entries.clear()
+        for tag in tags:
+            entries[tag] = None
 
     def __repr__(self) -> str:
         return (f"SetAssocCache({self.name}: {self.size_bytes}B, "

@@ -78,6 +78,17 @@ class SimConfig:
     #: isolation so a violation names the offending pass.
     verify_each_pass: bool = False
 
+    # Segment-level timing replay (macro-simulation).
+    #: memoize trace-cache segment visits and replay their timing
+    #: deltas when the full context matches (bit-identical results;
+    #: see docs/architecture.md "Segment-level timing replay")
+    timing_memo: bool = True
+    #: memoized visit records retained before FIFO eviction
+    memo_capacity: int = 8192
+    #: re-simulate every Nth replay hit through the slow path and
+    #: assert bit-for-bit equality with the memo (0 disables shadowing)
+    replay_shadow_every: int = 0
+
     def __post_init__(self) -> None:
         if self.num_clusters * self.cluster_size > self.fetch_width:
             raise ConfigError(
@@ -93,6 +104,10 @@ class SimConfig:
         if self.verify_each_pass and not self.verify_fill:
             raise ConfigError(
                 "verify_each_pass requires verify_fill")
+        if self.memo_capacity < 1:
+            raise ConfigError("memo capacity is at least one entry")
+        if self.replay_shadow_every < 0:
+            raise ConfigError("replay_shadow_every cannot be negative")
 
     # ------------------------------------------------------------------
 

@@ -62,9 +62,10 @@ class FetchStage(PipelineStage):
 
     def begin_group(self, state: MachineState) -> None:
         requested = state.fetch_ready
-        entries, fetch_cycle = self._fetch_group(
+        entries, fetch_cycle, segment = self._fetch_group(
             state.records, state.index, state.fetch_ready)
-        group = FetchGroup(entries=entries, fetch_cycle=fetch_cycle)
+        group = FetchGroup(entries=entries, fetch_cycle=fetch_cycle,
+                           segment=segment)
         state.group = group
         if not entries:     # defensive; cannot happen on real traces
             return
@@ -112,12 +113,13 @@ class FetchStage(PipelineStage):
 
     # ------------------------------------------------------------------
 
-    def _fetch_group(self, records: List[Any], start: int,
-                     cycle: int) -> Tuple[List[FetchEntry], int]:
+    def _fetch_group(self, records: List[Any], start: int, cycle: int
+                     ) -> Tuple[List[FetchEntry], int, Optional[Any]]:
         """Assemble one fetch group starting at stream index *start*.
 
-        Returns ``(entries, fetch_cycle)``; ``len(entries)`` stream
-        records were consumed.
+        Returns ``(entries, fetch_cycle, segment)``; ``len(entries)``
+        stream records were consumed, and *segment* is the trace-cache
+        segment the group came from (None on the I-cache path).
         """
         pc = records[start].pc
         if self.trace_cache is not None:
@@ -130,12 +132,15 @@ class FetchStage(PipelineStage):
                 # memory round trip for code that streams through the
                 # TC every cycle.
                 self.hierarchy.l1i.fill(pc)
-                return self._fetch_from_segment(segment, records, start,
-                                                cycle)
+                entries, fetch_cycle = self._fetch_from_segment(
+                    segment, records, start, cycle)
+                return entries, fetch_cycle, segment
             assert self.fill_unit is not None
             self.fill_unit.note_fetch_miss(pc)
             self.events.emit(FETCH_MISFETCH, cycle, pc=pc)
-        return self._fetch_from_icache(records, start, cycle)
+        entries, fetch_cycle = self._fetch_from_icache(records, start,
+                                                       cycle)
+        return entries, fetch_cycle, None
 
     def _path_chooser(self, segment: Any) -> int:
         """Way-selection score for path-associative lookup.

@@ -20,7 +20,6 @@ from repro.harness.report import render_bar_chart, render_table
 
 __all__ = [
     "ExperimentRunner",
-    "export",
     "figures",
     "svgchart",
     "sweeps",
@@ -28,14 +27,3 @@ __all__ = [
     "render_bar_chart",
     "render_table",
 ]
-
-
-def __getattr__(name):
-    # `export` moved to repro.core.export; resolve the deprecated shim
-    # lazily so merely importing the harness does not trigger its
-    # DeprecationWarning.
-    if name == "export":
-        import importlib
-        return importlib.import_module("repro.harness.export")
-    raise AttributeError(
-        f"module {__name__!r} has no attribute {name!r}")

@@ -185,41 +185,53 @@ class Instruction:
         return self.sources(), None
 
     # -- control-flow classification ----------------------------------
+    # These run for every instruction in the simulator's hot loops, so
+    # each makes exactly one op_info lookup instead of going through
+    # the ``opclass`` property (whose extra call layers dominate their
+    # cost at this call volume).
 
     def is_cond_branch(self) -> bool:
-        return self.opclass is OpClass.BRANCH
+        return op_info(self.op).opclass is OpClass.BRANCH
 
     def is_ctrl(self) -> bool:
-        return self.opclass in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL,
-                                OpClass.INDIRECT, OpClass.SYSCALL)
+        return op_info(self.op).opclass in (
+            OpClass.BRANCH, OpClass.JUMP, OpClass.CALL,
+            OpClass.INDIRECT, OpClass.SYSCALL)
 
     def is_call(self) -> bool:
-        return self.opclass is OpClass.CALL
+        return op_info(self.op).opclass is OpClass.CALL
 
     def is_return(self) -> bool:
         """JR through the link register is treated as a return."""
         return self.op is Op.JR and self.rs == 31
 
     def is_indirect(self) -> bool:
-        return self.opclass is OpClass.INDIRECT or self.op is Op.JALR
+        return op_info(self.op).opclass is OpClass.INDIRECT \
+            or self.op is Op.JALR
 
     def is_serializing(self) -> bool:
-        return self.opclass is OpClass.SYSCALL
+        return op_info(self.op).opclass is OpClass.SYSCALL
 
     def is_mem(self) -> bool:
-        return self.opclass in (OpClass.LOAD, OpClass.STORE)
+        return op_info(self.op).opclass in (OpClass.LOAD, OpClass.STORE)
 
     def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
+        return op_info(self.op).opclass is OpClass.LOAD
 
     def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
+        return op_info(self.op).opclass is OpClass.STORE
 
     def terminates_segment(self) -> bool:
         """True when the fill unit must end a trace segment after this
         instruction: returns, indirect jumps and serializing
-        instructions terminate; calls and direct jumps do not."""
-        return self.is_return() or self.is_indirect() or self.is_serializing()
+        instructions terminate; calls and direct jumps do not.
+
+        (INDIRECT covers JR and with it every return.)
+        """
+        opclass = op_info(self.op).opclass
+        return (opclass is OpClass.INDIRECT
+                or opclass is OpClass.SYSCALL
+                or self.op is Op.JALR)
 
     def __str__(self) -> str:  # pragma: no cover - convenience only
         from repro.isa.disasm import disassemble

@@ -171,10 +171,17 @@ _OP_INFO: dict[Op, OpInfo] = {
 
 _BY_MNEMONIC = {op.value: op for op in Op}
 
+# The info table is consulted on every structural query of every
+# instruction in the simulator's hot loops; a dict lookup hashes the
+# enum member each time, so pin each member's info onto the member
+# itself and make the lookup a plain attribute load.
+for _op in Op:
+    _op._info = _OP_INFO[_op]  # type: ignore[attr-defined]
+
 
 def op_info(op: Op) -> OpInfo:
     """Return the static :class:`OpInfo` for *op*."""
-    return _OP_INFO[op]
+    return op._info  # type: ignore[attr-defined,no-any-return]
 
 
 def op_by_mnemonic(mnemonic: str) -> Op:

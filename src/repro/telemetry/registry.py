@@ -20,6 +20,7 @@ Two properties the timing model depends on:
 from __future__ import annotations
 
 import re
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -40,7 +41,7 @@ class Counter:
     def add(self, n: int = 1) -> None:
         self.value += n
 
-    def snapshot_value(self):
+    def snapshot_value(self) -> int:
         return self.value
 
 
@@ -53,12 +54,12 @@ class Gauge:
 
     def __init__(self, scope: str) -> None:
         self.scope = scope
-        self.value = 0
+        self.value: float = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
-    def snapshot_value(self):
+    def snapshot_value(self) -> float:
         return self.value
 
 
@@ -78,9 +79,9 @@ class Histogram:
         self.scope = scope
         self.count = 0
         self.total = 0
-        self.min = None
-        self.max = None
-        self.buckets: dict = {}
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
 
     def observe(self, value: int) -> None:
         self.count += 1
@@ -96,7 +97,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def snapshot_value(self) -> dict:
+    def snapshot_value(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
@@ -122,13 +123,13 @@ class _NullMetric:
     def add(self, n: int = 1) -> None:
         pass
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         pass
 
     def observe(self, value: int) -> None:
         pass
 
-    def snapshot_value(self):
+    def snapshot_value(self) -> int:
         return 0
 
 
@@ -142,11 +143,13 @@ class TelemetryRegistry:
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
-        self._metrics: dict = {}
+        self._metrics: Dict[str, Any] = {}
+        #: memoized ``counters()`` result, keyed by registry size
+        self._counter_cache: Tuple[int, List[Counter]] = (-1, [])
 
     # ------------------------------------------------------------------
 
-    def _get(self, scope: str, kind: str):
+    def _get(self, scope: str, kind: str) -> Any:
         if not self.enabled:
             return NULL_METRIC
         metric = self._metrics.get(scope)
@@ -180,21 +183,41 @@ class TelemetryRegistry:
     def __contains__(self, scope: str) -> bool:
         return scope in self._metrics
 
-    def value(self, scope: str, default=0):
+    def value(self, scope: str, default: Any = 0) -> Any:
         """The current value of one scope (0 when never registered)."""
         metric = self._metrics.get(scope)
         return default if metric is None else metric.snapshot_value()
 
-    def flat(self) -> dict:
+    def counters(self) -> List[Counter]:
+        """Live :class:`Counter` handles, in registration order.
+
+        Registration order is deterministic for a fixed code path (the
+        engine constructs and first-touches metrics in a fixed
+        sequence), which is all the replay layer needs: it records
+        *(handle, delta)* pairs against the live objects themselves,
+        so ordering only affects record layout, not meaning.
+
+        The replay layer calls this on every armed fetch group, so the
+        result is memoized until a new metric registers (metrics are
+        never removed); treat the returned list as read-only.
+        """
+        size, cached = self._counter_cache
+        if size == len(self._metrics):
+            return cached
+        out = [m for m in self._metrics.values() if m.kind == "counter"]
+        self._counter_cache = (len(self._metrics), out)
+        return out
+
+    def flat(self) -> Dict[str, Any]:
         """``{scope: value}`` over every registered metric, sorted by
         scope — the JSON-safe form folded into ``SimResult.telemetry``."""
         return {scope: self._metrics[scope].snapshot_value()
                 for scope in sorted(self._metrics)}
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """The same data as :meth:`flat`, nested by scope segment:
         ``fetch.tc.hits`` becomes ``{"fetch": {"tc": {"hits": N}}}``."""
-        tree: dict = {}
+        tree: Dict[str, Any] = {}
         for scope, value in self.flat().items():
             node = tree
             parts = scope.split(".")

@@ -20,9 +20,15 @@ retained for the memory scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Optional
 
 from repro.errors import SegmentError
+
+#: process-wide allocator for segment memo tokens (see
+#: :attr:`TraceSegment.memo_token`). Starts at 1 so 0 can mean
+#: "unassigned" in the dataclass default.
+_MEMO_TOKENS = count(1)
 
 
 @dataclass
@@ -50,10 +56,19 @@ class TraceSegment:
     #: by the fill unit's dedup (passes may remove branch records —
     #: e.g. predication — so the live list cannot be compared).
     build_promo: tuple = ()
+    #: process-unique identity for the timing memo: two visits share a
+    #: memo key only if they hit the *same finalized segment object*
+    #: (same instruction rewrites, slots, promotions). Assigned at
+    #: construction, never reused — a rebuilt segment after eviction
+    #: gets a fresh token, which soundly invalidates stale memo
+    #: entries instead of aliasing them.
+    memo_token: int = 0
 
     def __post_init__(self) -> None:
         if not self.slots:
             self.slots = list(range(len(self.instrs)))
+        if not self.memo_token:
+            self.memo_token = next(_MEMO_TOKENS)
 
     # ------------------------------------------------------------------
 

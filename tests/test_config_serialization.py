@@ -56,6 +56,9 @@ def _non_default_config() -> SimConfig:
             reassoc_cross_flow_only=False, max_scale_shift=2),
         verify_fill=True,
         verify_each_pass=True,
+        timing_memo=False,
+        memo_capacity=512,
+        replay_shadow_every=3,
     )
 
 

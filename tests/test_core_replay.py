@@ -1,0 +1,151 @@
+"""Unit tests for the replay controller's store and policy pieces."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import workloads
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.pipeline import PipelineModel
+from repro.core.replay import (
+    _COLD_MISSES,
+    _COLD_MISSES_FAST,
+    _COLD_RATIO,
+    _PROBE_MIN,
+    TimingMemo,
+    VisitRecord,
+    _is_cold,
+)
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.machine import run_program
+from repro.telemetry import Telemetry
+
+
+def _record(tag):
+    """A minimal but structurally valid record (``approx_bytes`` walks
+    the dataclass fields)."""
+    return VisitRecord(
+        retire=(tag,), regs=((1, ("a", 1, None)),),
+        rename_post=("idle",), retire_post=("idle",),
+        checkpoints_post=((), 0), fus_post=((), ()), rs_post=(),
+        memsched_delta=(None, ()), cache_posts=(), attr_deltas=(),
+        counter_deltas=(), fetch_post=(1, 0, 0))
+
+
+# -- TimingMemo ---------------------------------------------------------
+
+def test_memo_store_get_len():
+    memo = TimingMemo(4)
+    assert memo.get(("k", 1)) is None
+    assert memo.store(("k", 1), _record(1)) == 0
+    assert memo.get(("k", 1)) == _record(1)
+    assert len(memo) == 1
+
+
+def test_memo_fifo_eviction_at_capacity():
+    memo = TimingMemo(2)
+    assert memo.store(("a",), _record("a")) == 0
+    assert memo.store(("b",), _record("b")) == 0
+    assert memo.store(("c",), _record("c")) == 1    # evicts ("a",)
+    assert memo.get(("a",)) is None
+    assert memo.get(("b",)) == _record("b")
+    assert memo.get(("c",)) == _record("c")
+
+
+def test_memo_overwrite_does_not_evict():
+    memo = TimingMemo(2)
+    memo.store(("a",), _record(1))
+    memo.store(("b",), _record(2))
+    assert memo.store(("a",), _record(3)) == 0
+    assert memo.get(("a",)) == _record(3)
+    assert memo.get(("b",)) == _record(2)
+
+
+def test_memo_invalidate():
+    memo = TimingMemo(2)
+    memo.store(("a",), _record(1))
+    memo.invalidate(("a",))
+    memo.invalidate(("never",))     # absent key: no-op
+    assert memo.get(("a",)) is None
+    assert len(memo) == 0
+
+
+def test_memo_approx_bytes_sampled():
+    memo = TimingMemo(4096)
+    for i in range(500):
+        memo.store((i,), _record(i))
+    estimate = memo.approx_bytes()
+    assert estimate > 0
+    # The estimate extrapolates a bounded sample; it must scale with
+    # the entry count, not with sample cost.
+    memo2 = TimingMemo(4096)
+    for i in range(50):
+        memo2.store((i,), _record(i))
+    assert estimate > memo2.approx_bytes()
+
+
+# -- cold-segment policy ------------------------------------------------
+
+def test_cold_needs_fast_threshold_without_hits():
+    stats = [0, _COLD_MISSES_FAST - 1, 0, _PROBE_MIN]
+    assert not _is_cold(stats)
+    stats[1] = _COLD_MISSES_FAST
+    assert _is_cold(stats)
+
+
+def test_cold_with_hits_uses_lifetime_test():
+    # Any hit at all moves the segment to the slow lifetime criterion.
+    stats = [1, _COLD_MISSES - 1, 0, _PROBE_MIN]
+    assert not _is_cold(stats)
+    stats[1] = _COLD_MISSES
+    assert _is_cold(stats)
+    # A healthy hit rate is never cold, whatever the miss count.
+    assert not _is_cold([_COLD_MISSES, _COLD_MISSES * _COLD_RATIO // 2,
+                         0, _PROBE_MIN])
+
+
+def test_adaptive_bypass_engages_on_compress():
+    """compress's hash-table segments never produce repeatable keys;
+    the controller must stop keying them (bypass > 0) while still
+    replaying the hot loop segments (hit > 0)."""
+    trace = run_program(workloads.build("compress", scale=0.2))
+    config = SimConfig.tiny(OptimizationConfig.all())
+    result = PipelineModel(config).run(trace, benchmark="compress",
+                                       label="memo-on")
+    tel = result.telemetry
+    assert tel.get("engine.replay.hit", 0) > 0
+    assert tel.get("engine.replay.bypass", 0) > 0
+
+
+# -- run eligibility ----------------------------------------------------
+
+def test_attribution_session_forces_slow_path():
+    """Cycle attribution observes every instruction, so a session with
+    attribution on must never replay — and still match bit-for-bit."""
+    trace = run_program(workloads.build("li", scale=0.2))
+    config = SimConfig.tiny(OptimizationConfig.all())
+    session = Telemetry(attribution=True)
+    r_on = Engine(config, telemetry=session).run(trace, "li", "on")
+    tel = r_on.telemetry
+    assert tel.get("engine.replay.hit", 0) == 0
+    assert tel.get("engine.replay.miss", 0) == 0
+    off = dataclasses.replace(config, timing_memo=False)
+    r_off = Engine(off, telemetry=Telemetry(attribution=True)).run(
+        trace, "li", "off")
+    assert r_on.cycles == r_off.cycles
+
+
+def test_memo_disabled_has_no_controller():
+    config = dataclasses.replace(SimConfig.tiny(), timing_memo=False)
+    assert Engine(config).replay is None
+
+
+def test_memo_capacity_bounds_entries():
+    trace = run_program(workloads.build("li", scale=0.2))
+    config = dataclasses.replace(SimConfig.tiny(OptimizationConfig.all()),
+                                 memo_capacity=16)
+    engine = Engine(config)
+    result = engine.run(trace, "li", "small-memo")
+    assert len(engine.replay.memo) <= 16
+    assert result.telemetry.get("engine.replay.invalidate", 0) > 0

@@ -1,48 +1,28 @@
-"""The deprecated ``repro.harness.export`` shim: warns, still works."""
+"""The deprecated ``repro.harness.export`` shim is gone (PR 8).
+
+Result serialization lives in :mod:`repro.core.export`; the harness
+package no longer advertises or resolves the old name.
+"""
 
 import importlib
-import sys
-import warnings
 
-import repro.core.export as core_export
+import pytest
 
-
-def _fresh_import():
-    sys.modules.pop("repro.harness.export", None)
-    return importlib.import_module("repro.harness.export")
+import repro.harness as harness
+from repro.core.export import SCHEMA_VERSION, dump_results
 
 
-def test_shim_warns_on_import():
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        _fresh_import()
-    deprecations = [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-    assert deprecations, "importing the shim must warn"
-    assert "repro.core.export" in str(deprecations[0].message)
+def test_shim_module_is_gone():
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.harness.export")
 
 
-def test_shim_reexports_are_identical():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        shim = _fresh_import()
-    for name in ("result_to_dict", "result_from_dict", "dump_results",
-                 "load_results", "diff_results", "SCHEMA_VERSION"):
-        assert getattr(shim, name) is getattr(core_export, name)
+def test_harness_does_not_expose_export():
+    assert "export" not in harness.__all__
+    with pytest.raises(AttributeError):
+        harness.export
 
 
-def test_harness_package_import_does_not_warn():
-    # The shim resolves lazily via repro.harness.__getattr__, so merely
-    # importing the harness stays warning-free...
-    for mod in ("repro.harness", "repro.harness.export"):
-        sys.modules.pop(mod, None)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        harness = importlib.import_module("repro.harness")
-    assert not [w for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-    # ...while attribute access still reaches the (warning) shim.
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        module = harness.export
-    assert module.dump_results is core_export.dump_results
+def test_core_export_is_the_canonical_home():
+    assert callable(dump_results)
+    assert isinstance(SCHEMA_VERSION, int)

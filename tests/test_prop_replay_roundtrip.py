@@ -1,0 +1,269 @@
+"""Property tests for the replay layer's snapshot–digest–delta
+surfaces.
+
+Three families of invariants keep the timing memo sound:
+
+* **Shift equivalence** — ``shift_digest(context_digest(b), d)`` must
+  be bit-identical to ``context_digest(b + d)`` when nothing mutates
+  the component in between; the replay controller leans on this to
+  carry one group's post-visit digest forward as the next group's key.
+* **Restore round-trips** — installing a digest and re-digesting must
+  reproduce it, for every component and for cache sets.
+* **Whole-machine equivalence on awkward records** — wrong-path
+  phantoms (guard-false predication bodies) and interrupt-adjacent
+  (serializing syscall) records must stay bit-identical with the memo
+  on, not just straight-line loop bodies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.cache.setassoc import SetAssocCache
+from repro.core.clusters import (
+    CheckpointStore,
+    FunctionalUnits,
+    ReservationStations,
+)
+from repro.core.config import SimConfig
+from repro.core.memsched import MemoryScheduler
+from repro.core.pipeline import PipelineModel
+from repro.core.rename import RenameUnit, RetireUnit
+from repro.fillunit.opts.base import OptimizationConfig
+from tests.helpers import run_asm
+
+cycles = st.integers(min_value=0, max_value=200)
+deltas = st.integers(min_value=0, max_value=64)
+bases = st.integers(min_value=0, max_value=256)
+
+
+# ----------------------------------------------------------------------
+# Shift equivalence: digest-at-(b+d) == shift(digest-at-b, d)
+# ----------------------------------------------------------------------
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 3), cycles), max_size=40),
+       base=bases, delta=deltas)
+def test_fus_shift_equivalence(ops, base, delta):
+    fus = FunctionalUnits(4)
+    for fu, earliest in ops:
+        fus.reserve(fu, earliest)
+    assert FunctionalUnits.shift_digest(fus.context_digest(base), delta) \
+        == fus.context_digest(base + delta)
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 3), cycles, cycles),
+                    max_size=40),
+       base=bases, delta=deltas)
+def test_rs_shift_equivalence(ops, base, delta):
+    rs = ReservationStations(4, 4)
+    for fu, enter, until in ops:
+        rs.admit(fu, enter)
+        rs.occupy(fu, until)
+    assert ReservationStations.shift_digest(rs.context_digest(base),
+                                            delta) \
+        == rs.context_digest(base + delta)
+
+
+@given(ops=st.lists(st.tuples(st.booleans(), cycles), max_size=40),
+       base=bases, delta=deltas)
+def test_checkpoints_shift_equivalence(ops, base, delta):
+    store = CheckpointStore(4)
+    for is_commit, cycle in ops:
+        if is_commit:
+            store.commit(cycle)
+        else:
+            store.acquire(cycle)
+    assert CheckpointStore.shift_digest(store.context_digest(base),
+                                        delta) \
+        == store.context_digest(base + delta)
+
+
+@given(ops=st.lists(st.tuples(cycles, st.booleans(), cycles),
+                    max_size=40),
+       base=bases, delta=deltas)
+def test_rename_shift_equivalence(ops, base, delta):
+    unit = RenameUnit(4, 2, 64)
+    for fetch_cycle, block_end, release in ops:
+        unit.rename(fetch_cycle, block_end, release)
+    assert RenameUnit.shift_digest(unit.context_digest(base), delta) \
+        == unit.context_digest(base + delta)
+
+
+@given(ops=st.lists(cycles, max_size=40), base=bases, delta=deltas)
+def test_retire_shift_equivalence(ops, base, delta):
+    unit = RetireUnit(4)
+    for complete in ops:
+        unit.retire(complete)
+    assert RetireUnit.shift_digest(unit.context_digest(base), delta) \
+        == unit.context_digest(base + delta)
+
+
+# ----------------------------------------------------------------------
+# Restore round-trips: restore(digest) then digest again
+# ----------------------------------------------------------------------
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 3), cycles), min_size=1,
+                    max_size=40),
+       base=bases)
+def test_fus_restore_roundtrip(ops, base):
+    fus = FunctionalUnits(4)
+    for fu, earliest in ops:
+        fus.reserve(fu, earliest)
+    snap = fus.context_digest(base)
+    fresh = FunctionalUnits(4)
+    fresh.restore(base, snap)
+    assert fresh.context_digest(base) == snap
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 3), cycles, cycles),
+                    min_size=1, max_size=40),
+       base=bases)
+def test_rs_restore_roundtrip(ops, base):
+    rs = ReservationStations(4, 4)
+    for fu, enter, until in ops:
+        rs.admit(fu, enter)
+        rs.occupy(fu, until)
+    snap = rs.context_digest(base)
+    fresh = ReservationStations(4, 4)
+    fresh.restore(base, snap)
+    assert fresh.context_digest(base) == snap
+
+
+@given(ops=st.lists(st.tuples(st.booleans(), cycles), min_size=1,
+                    max_size=40),
+       base=bases)
+def test_checkpoints_restore_roundtrip(ops, base):
+    store = CheckpointStore(4)
+    for is_commit, cycle in ops:
+        if is_commit:
+            store.commit(cycle)
+        else:
+            store.acquire(cycle)
+    snap = store.context_digest(base)
+    fresh = CheckpointStore(4)
+    fresh.restore(base, snap)
+    assert fresh.context_digest(base) == snap
+
+
+@given(addrs=st.lists(st.integers(0, 1 << 16).map(lambda a: a * 4),
+                      min_size=1, max_size=64))
+def test_cache_set_restore_roundtrip(addrs):
+    cache = SetAssocCache(1024, 2, 16, "prop")
+    mirror = SetAssocCache(1024, 2, 16, "mirror")
+    for addr in addrs:
+        cache.access(addr)
+    for index in {cache.set_index(addr) for addr in addrs}:
+        snap = cache.set_digest(index)
+        mirror.restore_set(index, snap)
+        assert mirror.set_digest(index) == snap
+        # Restoring a set onto itself is a no-op.
+        cache.restore_set(index, snap)
+        assert cache.set_digest(index) == snap
+
+
+# ----------------------------------------------------------------------
+# Memory-scheduler delta capture/apply
+# ----------------------------------------------------------------------
+
+
+@given(
+    shared=st.lists(st.tuples(st.integers(0, 255).map(lambda a: a * 4),
+                              cycles, cycles),
+                    max_size=24),
+    visit=st.lists(st.tuples(st.integers(0, 255).map(lambda a: a * 4),
+                             st.integers(100, 300),
+                             st.integers(100, 300)),
+                   min_size=1, max_size=12),
+    base=st.integers(min_value=90, max_value=99))
+def test_memsched_delta_roundtrip(shared, visit, base):
+    """Drive two schedulers to the same state, run a visit's stores on
+    one, and apply the captured delta to the other: their observable
+    digests must agree for every load-word set a future group could
+    probe."""
+    sched_a = MemoryScheduler(MemoryHierarchy(), 128)
+    sched_b = MemoryScheduler(MemoryHierarchy(), 128)
+    for addr, agen, data in shared:
+        sched_a.store_timing(addr, agen, data)
+        sched_b.store_timing(addr, agen, data)
+    store_words = []
+    for addr, agen, data in visit:
+        sched_a.store_timing(addr, agen, data)
+        store_words.append(addr & ~3)
+    delta = sched_a.capture_delta(base, tuple(sorted(set(store_words))))
+    sched_b.apply_delta(base, delta)
+    probe = sorted({addr & ~3 for addr, _a, _d in shared + visit})
+    for later in (base, base + 7, base + 50):
+        assert sched_a.context_digest(later, probe) \
+            == sched_b.context_digest(later, probe)
+
+
+# ----------------------------------------------------------------------
+# Whole-machine equivalence on awkward record shapes
+# ----------------------------------------------------------------------
+
+#: serializing syscalls inside the hot loop: every iteration retires
+#: interrupt-adjacent records (SYSCALL both terminates segments and
+#: serializes the pipeline).
+_SYSCALL_KERNEL = """
+main:
+    addi $t0, $zero, 40
+    addi $v0, $zero, 1
+loop:
+    addi $a0, $t0, 0
+    syscall
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+"""
+
+#: a hard-to-predict short forward branch: under the extended pass set
+#: its body runs predicated, retiring guard-false phantom records.
+_PHANTOM_KERNEL = """
+main:
+    addi $t0, $zero, 64
+    addi $t1, $zero, 0
+    addi $t2, $zero, 0
+loop:
+    andi $t3, $t0, 3
+    beq  $t3, $zero, skip
+    addi $t1, $t1, 1
+skip:
+    addi $t2, $t2, 1
+    addi $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+"""
+
+
+def _comparable(result):
+    out = dataclasses.asdict(result)
+    del out["config_label"]
+    out["telemetry"] = {
+        scope: value for scope, value in result.telemetry.items()
+        if not scope.startswith("engine.replay.")}
+    return out
+
+
+def _assert_memo_equivalent(source):
+    _program, trace = run_asm(source)
+    config = SimConfig.tiny(OptimizationConfig.extended())
+    off = dataclasses.replace(config, timing_memo=False)
+    r_off = PipelineModel(off).run(trace, benchmark="kernel",
+                                   label="off")
+    r_on = PipelineModel(config).run(trace, benchmark="kernel",
+                                     label="on")
+    assert _comparable(r_on) == _comparable(r_off)
+
+
+def test_interrupt_adjacent_records_bit_identical():
+    _assert_memo_equivalent(_SYSCALL_KERNEL)
+
+
+def test_predication_phantom_records_bit_identical():
+    _assert_memo_equivalent(_PHANTOM_KERNEL)

@@ -1,0 +1,128 @@
+"""Bit-for-bit equivalence of the segment-level timing replay.
+
+The correctness bar for the timing memo is absolute: with the memo
+enabled, cycle counts, every :class:`SimResult` counter and the full
+telemetry snapshot (minus the memo's own ``engine.replay.*`` scopes)
+must equal the slow path exactly — on every workload, under every
+paper machine configuration, with shadow re-simulation enabled, and
+with wrong-path modeling active (which forces the slow path outright).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.pipeline import PipelineModel
+from repro.fillunit.opts.base import OptimizationConfig
+from repro.machine import run_program
+from repro import workloads
+
+#: the four paper machines the acceptance matrix runs: measured
+#: baseline, a single-optimization machine, the combined paper
+#: configuration, and the extended pass set.
+PAPER_CONFIGS = {
+    "baseline": OptimizationConfig.none,
+    "moves": lambda: OptimizationConfig.only("moves"),
+    "all": OptimizationConfig.all,
+    "extended": OptimizationConfig.extended,
+}
+
+_TRACES: dict = {}
+
+
+def _trace(name: str, scale: float):
+    key = (name, scale)
+    if key not in _TRACES:
+        _TRACES[key] = run_program(workloads.build(name, scale=scale))
+    return _TRACES[key]
+
+
+def _comparable(result) -> dict:
+    """The full result with the memo's own telemetry scopes removed
+    (they are the only sanctioned difference between the two paths)."""
+    out = dataclasses.asdict(result)
+    del out["config_label"]     # run labels differ by construction
+    out["telemetry"] = {
+        scope: value for scope, value in result.telemetry.items()
+        if not scope.startswith("engine.replay.")}
+    return out
+
+
+def _run_pair(trace, config: SimConfig, benchmark: str):
+    off = dataclasses.replace(config, timing_memo=False)
+    r_off = PipelineModel(off).run(trace, benchmark=benchmark,
+                                   label="memo-off")
+    r_on = PipelineModel(config).run(trace, benchmark=benchmark,
+                                     label="memo-on")
+    return r_off, r_on
+
+
+@pytest.mark.parametrize("config_name", sorted(PAPER_CONFIGS))
+@pytest.mark.parametrize("bench", workloads.names())
+def test_memo_bit_identical_every_workload(bench, config_name):
+    trace = _trace(bench, 0.2)
+    config = SimConfig.tiny(PAPER_CONFIGS[config_name]())
+    r_off, r_on = _run_pair(trace, config, bench)
+    assert r_on.cycles == r_off.cycles
+    assert _comparable(r_on) == _comparable(r_off)
+
+
+@pytest.mark.parametrize("bench,cycles",
+                         [("compress", 16344), ("li", 13709)])
+def test_seed_cycles_preserved_with_memo(bench, cycles):
+    """The paper-config seed anchors, at the bench-trajectory scale."""
+    trace = _trace(bench, 0.5)
+    config = SimConfig.paper(OptimizationConfig.all())
+    r_off, r_on = _run_pair(trace, config, bench)
+    assert r_off.cycles == cycles
+    assert r_on.cycles == cycles
+    assert _comparable(r_on) == _comparable(r_off)
+    assert r_on.telemetry.get("engine.replay.hit", 0) > 0
+
+
+def test_shadow_mode_checks_and_stays_clean():
+    """With ``replay_shadow_every=1`` every would-be replay re-runs
+    the slow path and asserts the fresh capture equals the memoized
+    record; a clean run proves record stability."""
+    trace = _trace("compress", 0.2)
+    config = dataclasses.replace(
+        SimConfig.tiny(OptimizationConfig.all()), replay_shadow_every=1)
+    r_off, r_on = _run_pair(trace, config, "compress")
+    assert _comparable(r_on) == _comparable(r_off)
+    assert r_on.telemetry.get("engine.replay.shadow.checked", 0) > 0
+    assert r_on.telemetry.get("engine.replay.shadow.mismatch", 0) == 0
+
+
+def test_wrong_path_modeling_forces_slow_path():
+    """Wrong-path fetch modeling observes per-instruction state the
+    memo cannot replay; the controller must bypass for the whole run
+    and results must still match the memo-off machine."""
+    program = workloads.build("compress", scale=0.2)
+    trace = run_program(program)
+    config = dataclasses.replace(
+        SimConfig.tiny(OptimizationConfig.all()), model_wrong_path=True)
+    off = dataclasses.replace(config, timing_memo=False)
+    r_off = PipelineModel(off).run(trace, benchmark="compress",
+                                   label="memo-off", program=program)
+    r_on = PipelineModel(config).run(trace, benchmark="compress",
+                                     label="memo-on", program=program)
+    assert _comparable(r_on) == _comparable(r_off)
+    assert r_on.telemetry.get("engine.replay.hit", 0) == 0
+    assert r_on.telemetry.get("engine.replay.miss", 0) == 0
+
+
+def test_replay_counters_present_and_consistent():
+    trace = _trace("li", 0.2)
+    config = SimConfig.tiny(OptimizationConfig.all())
+    result = PipelineModel(config).run(trace, benchmark="li",
+                                       label="memo-on")
+    tel = result.telemetry
+    hits = tel.get("engine.replay.hit", 0)
+    misses = tel.get("engine.replay.miss", 0)
+    assert hits > 0
+    assert misses > 0
+    assert tel.get("engine.replay.memo.entries", 0) > 0
+    assert tel.get("engine.replay.memo.approx_bytes", 0) > 0

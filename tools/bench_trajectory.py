@@ -12,18 +12,24 @@ scale with the host-time profiler attached and records, per benchmark:
   gate transfers across machines of different speeds;
 * ``stage_shares`` — per-pipeline-stage host-time fractions from the
   :class:`~repro.telemetry.hostprof.HostProfiler`;
-* ``reuse`` — trace-cache/segment reuse statistics.
+* ``reuse`` — trace-cache/segment reuse statistics;
+* ``replay`` (schema 2) — timing-memo behavior: hit/miss/bypass
+  counts and rates, invalidations, memo footprint, and the measured
+  speedup of the memo-on run over a memo-off run of the same trace.
 
 Usage:
-    python tools/bench_trajectory.py --out BENCH_6.json
+    python tools/bench_trajectory.py --out BENCH_8.json
     python tools/bench_trajectory.py --out /tmp/now.json \\
-        --check BENCH_6.json --tolerance 0.10
+        --check BENCH_8.json --tolerance 0.10
 
 ``--check`` exits nonzero when any benchmark's cycle count differs
 from the baseline or its normalized wall time regressed by more than
-``--tolerance`` (fractional; default 0.10). The pytest wrapper in
-``benchmarks/bench_trajectory.py`` runs the cycle/shape checks on
-every benchmark invocation and the wall gate under ``REPRO_BENCH_GATE``.
+``--tolerance`` (fractional; default 0.10). Schema-1 baselines
+(``BENCH_6.json`` and earlier) are still accepted: the gate compares
+the fields both schemas share and skips the replay block. The pytest
+wrapper in ``benchmarks/bench_trajectory.py`` runs the cycle/shape
+checks on every benchmark invocation and the wall gate under
+``REPRO_BENCH_GATE``.
 """
 
 import argparse
@@ -31,7 +37,10 @@ import json
 import sys
 import time
 
-TRAJECTORY_SCHEMA_VERSION = 1
+#: 1 — cycles / wall / stage shares / reuse (BENCH_6.json).
+#: 2 — adds the per-benchmark ``replay`` block (BENCH_8.json).
+TRAJECTORY_SCHEMA_VERSION = 2
+_READABLE_SCHEMAS = (1, 2)
 BENCHMARKS = ("compress", "li")
 DEFAULT_SCALE = 0.5
 DEFAULT_TOLERANCE = 0.10
@@ -56,39 +65,85 @@ def calibrate(repeats: int = 3) -> float:
     return best
 
 
-def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
-                      repeats: int = 3) -> dict:
-    """One benchmark's trajectory entry (see module docstring)."""
-    from repro import workloads
+def _timed_runs(trace, name: str, repeats: int, timing_memo: bool):
+    """Best-of-*repeats* Engine runs of *trace*; returns
+    ``(best_wall, result, profiler, engine)`` of the fastest run."""
+    import dataclasses
+
     from repro.core.config import SimConfig
     from repro.core.engine import Engine
     from repro.fillunit.opts.base import OptimizationConfig
-    from repro.machine.executor import Executor
     from repro.telemetry.hostprof import HostProfiler
 
-    program = workloads.build(name, scale)
-    trace = Executor(program).run()
     best_wall = None
     result = None
     profiler = None
+    engine = None
     for _ in range(repeats):
         # The CLI's default configuration (paper machine, all four
         # published optimizations) — `repro run BENCH` reproduces
         # these cycle counts exactly.
-        engine = Engine(SimConfig.paper(OptimizationConfig.all()))
+        config = SimConfig.paper(OptimizationConfig.all())
+        if not timing_memo:
+            config = dataclasses.replace(config, timing_memo=False)
+        eng = Engine(config)
         prof = HostProfiler()
-        prof.attach(engine)
+        prof.attach(eng)
         start = time.perf_counter()
-        res = engine.run(trace, benchmark=name, label="trajectory")
+        res = eng.run(trace, benchmark=name, label="trajectory")
         elapsed = time.perf_counter() - start
         if best_wall is None or elapsed < best_wall:
-            best_wall, result, profiler = elapsed, res, prof
+            best_wall, result, profiler, engine = elapsed, res, prof, eng
         if result.cycles != res.cycles:
             raise AssertionError(
                 f"{name}: nondeterministic cycles "
                 f"({result.cycles} vs {res.cycles})")
-        tc = engine.trace_cache
-    stats = tc.stats
+    return best_wall, result, profiler, engine
+
+
+def _replay_block(result, slow_wall: float, fast_wall: float) -> dict:
+    """The schema-2 ``replay`` entry, folded from the memo-on run's
+    ``engine.replay.*`` telemetry plus the memo-off comparison leg."""
+    tel = result.telemetry
+    hits = tel.get("engine.replay.hit", 0)
+    misses = tel.get("engine.replay.miss", 0)
+    bypasses = tel.get("engine.replay.bypass", 0)
+    invalidations = tel.get("engine.replay.invalidate", 0)
+    visits = hits + misses + bypasses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "bypasses": bypasses,
+        "invalidations": invalidations,
+        "hit_rate": round(hits / visits, 4) if visits else 0.0,
+        "miss_rate": round(misses / visits, 4) if visits else 0.0,
+        "invalidation_rate": (round(invalidations / misses, 4)
+                              if misses else 0.0),
+        "memo_entries": tel.get("engine.replay.memo.entries", 0),
+        "memo_approx_bytes": tel.get(
+            "engine.replay.memo.approx_bytes", 0),
+        "slow_path_wall_seconds": round(slow_wall, 6),
+        "speedup": round(slow_wall / fast_wall, 4),
+    }
+
+
+def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
+                      repeats: int = 3) -> dict:
+    """One benchmark's trajectory entry (see module docstring)."""
+    from repro import workloads
+    from repro.machine.executor import Executor
+
+    program = workloads.build(name, scale)
+    trace = Executor(program).run()
+    best_wall, result, profiler, engine = _timed_runs(
+        trace, name, repeats, timing_memo=True)
+    slow_wall, slow_result, _prof, _eng = _timed_runs(
+        trace, name, repeats, timing_memo=False)
+    if slow_result.cycles != result.cycles:
+        raise AssertionError(
+            f"{name}: timing memo changed cycles "
+            f"({slow_result.cycles} slow vs {result.cycles} memo)")
+    stats = engine.trace_cache.stats
     fill = engine.fill_unit.stats
     return {
         "cycles": result.cycles,
@@ -105,6 +160,7 @@ def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
             "segments_built": fill.segments_built,
             "segments_deduped": fill.segments_deduped,
         },
+        "replay": _replay_block(result, slow_wall, best_wall),
     }
 
 
@@ -130,12 +186,19 @@ def check_against(current: dict, baseline: dict,
 
     Cycle counts must match exactly; normalized wall time may grow by
     at most *tolerance* (fractional). Improvements always pass.
+
+    Schema-1 baselines are accepted: only the fields both schemas
+    share are compared (the ``replay`` block is schema-2-only and
+    never gated — it is reporting, not a regression contract).
     """
     failures = []
-    if baseline.get("schema") != current.get("schema"):
+    base_schema = baseline.get("schema")
+    if (base_schema not in _READABLE_SCHEMAS
+            or base_schema > current.get("schema", 0)):
         failures.append(
-            f"schema mismatch: baseline {baseline.get('schema')!r} "
-            f"vs current {current.get('schema')!r}")
+            f"unreadable baseline schema {base_schema!r} "
+            f"(current {current.get('schema')!r}; this tool reads "
+            f"schemas {_READABLE_SCHEMAS})")
         return failures
     if baseline.get("scale") != current.get("scale"):
         failures.append(
@@ -178,6 +241,16 @@ def render(payload: dict) -> str:
         lines.append("  " + " " * 10 + " hottest stages: " + ", ".join(
             f"{scope.split('.', 1)[1]} {100 * share:.0f}%"
             for scope, share in top))
+        replay = entry.get("replay")
+        if replay:
+            lines.append(
+                "  " + " " * 10 +
+                f" replay: hit={100 * replay['hit_rate']:.1f}% "
+                f"miss={100 * replay['miss_rate']:.1f}% "
+                f"inval={replay['invalidations']} "
+                f"memo={replay['memo_entries']} entries "
+                f"(~{replay['memo_approx_bytes'] // 1024} KiB) "
+                f"speedup={replay['speedup']:.2f}x vs slow path")
     return "\n".join(lines)
 
 
