@@ -1,0 +1,97 @@
+"""Replay-soundness self-audit: static analysis over the simulator.
+
+The package turns the repo's static-analysis discipline (PR 2
+translation validation, PR 4/7 opportunity oracles) on its own
+source: the segment-level timing replay's bit-for-bit guarantee rests
+on hand-enumerated digest surfaces, and this auditor checks — by
+construction, not convention — that every field mutated on the
+simulate path is either digested, delta-captured, or explicitly
+presentational, that key construction is deterministic, and (via a
+live mutation-fuzz oracle with seeded hole mutants) that the digests
+really observe what the model says they observe.
+
+Entry point: :func:`~repro.analysis.selfcheck.report.run_self_audit`,
+surfaced on the CLI as ``repro audit`` / ``repro analyze --self``.
+"""
+
+from repro.analysis.selfcheck.coverage import (
+    check_component,
+    check_state,
+    coverage_map,
+    run_coverage,
+)
+from repro.analysis.selfcheck.determinism import (
+    run_determinism,
+    scan_class_iteration,
+    scan_module_hazards,
+)
+from repro.analysis.selfcheck.extract import (
+    ComponentModel,
+    ExtractionError,
+    FieldModel,
+    StateModel,
+    extract_attr_cells,
+    extract_component,
+    extract_state_model,
+)
+from repro.analysis.selfcheck.findings import (
+    SEV_ERROR,
+    SEV_WARNING,
+    AuditFinding,
+)
+from repro.analysis.selfcheck.fuzz import (
+    FuzzReport,
+    build_plans,
+    run_fuzz,
+)
+from repro.analysis.selfcheck.model import (
+    DIGEST_SURFACES,
+    LIVE_SURFACES,
+    MACHINE_STATE,
+    ComponentSpec,
+    StateSpec,
+    all_surfaces,
+)
+from repro.analysis.selfcheck.report import (
+    BASELINE_SCHEMA,
+    ComponentSummary,
+    SelfAuditReport,
+    StaticHoleResult,
+    run_self_audit,
+    seed_static_holes,
+)
+
+__all__ = [
+    "AuditFinding",
+    "BASELINE_SCHEMA",
+    "ComponentModel",
+    "ComponentSpec",
+    "ComponentSummary",
+    "DIGEST_SURFACES",
+    "ExtractionError",
+    "FieldModel",
+    "FuzzReport",
+    "LIVE_SURFACES",
+    "MACHINE_STATE",
+    "SEV_ERROR",
+    "SEV_WARNING",
+    "SelfAuditReport",
+    "StateModel",
+    "StateSpec",
+    "StaticHoleResult",
+    "all_surfaces",
+    "build_plans",
+    "check_component",
+    "check_state",
+    "coverage_map",
+    "extract_attr_cells",
+    "extract_component",
+    "extract_state_model",
+    "run_coverage",
+    "run_determinism",
+    "run_fuzz",
+    "run_self_audit",
+    "scan_class_iteration",
+    "scan_module_hazards",
+    "seed_static_holes",
+]

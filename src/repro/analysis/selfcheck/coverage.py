@@ -1,0 +1,150 @@
+"""Digest-coverage lint: the extracted model vs the digest surfaces.
+
+The replay argument requires three containments, checked here field by
+field against the extracted :class:`ComponentModel`:
+
+* every ``timing`` field (mutated on the step path, not allowlisted)
+  must be read by a key-side digest method — otherwise two machine
+  states that differ in it would share a memo key (``digest-hole``);
+* every ``counter`` field must be captured as an attribute-delta cell
+  by the replay controller on each of the spec's delta paths
+  (``counter-uncaptured``);
+* every mutated field of the cross-stage handoff object must be
+  declared captured, live-rebuilt, or driver-advanced
+  (``state-hole``).
+
+A digest method reading an attribute the model does not declare is a
+``unmodeled-read`` warning: usually a spec rot signal, occasionally a
+new field added digest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.analysis.selfcheck.extract import (
+    ComponentModel,
+    StateModel,
+)
+from repro.analysis.selfcheck.findings import (
+    SEV_ERROR,
+    SEV_WARNING,
+    AuditFinding,
+)
+from repro.analysis.selfcheck.model import (
+    CLASS_COUNTER,
+    CLASS_TIMING,
+    ROLE_DIGEST,
+)
+
+
+def check_component(cm: ComponentModel,
+                    cells: Sequence[str]) -> List[AuditFinding]:
+    """Coverage findings for one extracted component model."""
+    findings: List[AuditFinding] = []
+    spec = cm.spec
+    if spec.role != ROLE_DIGEST:
+        return findings
+    for name, fld in sorted(cm.fields.items()):
+        where = f"{cm.path}:{fld.line}" if fld.line else cm.path
+        if fld.classification == CLASS_TIMING:
+            if spec.key_methods and not fld.digest_readers:
+                findings.append(AuditFinding(
+                    rule="digest-hole", severity=SEV_ERROR,
+                    component=spec.cls, attr=name, location=where,
+                    message=(
+                        f"mutated on the step path by "
+                        f"{', '.join(fld.step_mutators)} but read by "
+                        f"no key-side digest method "
+                        f"({', '.join(spec.key_methods)}): states "
+                        f"differing in it would share a memo key")))
+        elif fld.classification == CLASS_COUNTER:
+            missing = [
+                path for path in spec.effective_delta_paths
+                if f"{path}.{name}" not in cells]
+            if missing:
+                findings.append(AuditFinding(
+                    rule="counter-uncaptured", severity=SEV_ERROR,
+                    component=spec.cls, attr=name, location=where,
+                    message=(
+                        f"declared a replay-captured counter but no "
+                        f"controller attribute cell covers it on "
+                        f"engine path(s) {', '.join(missing)}")))
+    known = set(cm.fields)
+    methods = set(cm.method_names)
+    seen: set = set()
+    for path in cm.key_reads + cm.restore_reads:
+        root = path.split(".")[0]
+        if root in known or root in methods or root in seen:
+            continue
+        seen.add(root)
+        findings.append(AuditFinding(
+            rule="unmodeled-read", severity=SEV_WARNING,
+            component=spec.cls, attr=root, location=cm.path,
+            message=(
+                "digest surface reads an attribute the extracted "
+                "state model does not declare (not assigned in "
+                "__init__, not a method)")))
+    return findings
+
+
+def check_state(sm: StateModel) -> List[AuditFinding]:
+    """Coverage findings for the cross-stage handoff object."""
+    findings: List[AuditFinding] = []
+    spec = sm.spec
+    declared = set(sm.declared)
+    covered = set(spec.captured) | set(spec.live) | set(spec.driver)
+    for name, sites in sorted(sm.mutations.items()):
+        if name in covered:
+            continue
+        findings.append(AuditFinding(
+            rule="state-hole", severity=SEV_ERROR,
+            component=spec.cls, attr=name,
+            location=", ".join(sites),
+            message=(
+                "mutated by a stage but neither captured by the "
+                "replay controller, rebuilt by the live split, nor "
+                "advanced by the engine driver")))
+    for name in sorted(covered - declared):
+        findings.append(AuditFinding(
+            rule="unmodeled-read", severity=SEV_WARNING,
+            component=spec.cls, attr=name, location=spec.module,
+            message=(
+                "replay contract names a field the handoff "
+                "dataclass no longer declares")))
+    for name in sorted(set(spec.captured) - set(sm.mutations)):
+        findings.append(AuditFinding(
+            rule="unmodeled-read", severity=SEV_WARNING,
+            component=spec.cls, attr=name, location=spec.module,
+            message=(
+                "declared replay-captured but no stage mutates it; "
+                "the capture is dead weight or the extractor missed "
+                "a mutation idiom")))
+    return findings
+
+
+def run_coverage(models: Iterable[ComponentModel],
+                 state_model: StateModel,
+                 cells: Sequence[str]) -> List[AuditFinding]:
+    """All coverage findings across components and the state object."""
+    findings: List[AuditFinding] = []
+    for cm in models:
+        findings.extend(check_component(cm, cells))
+    findings.extend(check_state(state_model))
+    return findings
+
+
+def coverage_map(models: Iterable[ComponentModel]
+                 ) -> Dict[str, List[str]]:
+    """``class -> digest-covered timing fields``, the baseline's
+    ratchet surface: a field leaving this map is a loosened model."""
+    return {cm.spec.cls: cm.covered_timing_fields()
+            for cm in models if cm.spec.role == ROLE_DIGEST}
+
+
+__all__ = [
+    "check_component",
+    "check_state",
+    "coverage_map",
+    "run_coverage",
+]

@@ -1,0 +1,383 @@
+"""Determinism-hazard lint over the simulate path.
+
+Three hazard families, all fatal to a bit-for-bit model:
+
+* ``id-call`` / ``nondeterministic-import`` — ``id()`` values change
+  per process; ``random`` / ``time`` smuggle wall-clock or RNG state
+  into timing. Flagged anywhere in
+  :data:`~repro.analysis.selfcheck.model.DETERMINISM_MODULES`.
+* ``unordered-iteration`` — a ``for`` loop, comprehension, or bare
+  ``iter()`` over a *set* inside digest/key construction, unless the
+  iteration feeds an order-insensitive reducer (``sorted``, ``sum``,
+  ``min``...). Set order varies with hash seeding and insertion
+  history; a key built from it is not a function of machine state.
+* ``dict-iteration`` — same sites over a *dict*: insertion-ordered,
+  hence deterministic, but order is construction history, not state;
+  warned unless the ``(class, method)`` pair is allowlisted in
+  :data:`~repro.analysis.selfcheck.model.ORDERED_DICT_ALLOWED` with a
+  reason (e.g. LRU order in ``set_digest`` *is* the modeled state).
+
+Container kinds are inferred syntactically: ``__init__`` annotations
+(``List[Set[int]]`` peels to ``set`` through a loop target), literal
+and constructor forms (``set()``, ``{}``, comprehensions), and local
+propagation through assignment, subscripts, and loop bindings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.selfcheck.extract import (
+    analyze_methods,
+    find_class,
+    parse_module,
+    transitive_closure,
+)
+from repro.analysis.selfcheck.findings import (
+    SEV_ERROR,
+    SEV_WARNING,
+    AuditFinding,
+)
+from repro.analysis.selfcheck.model import (
+    DETERMINISM_MODULES,
+    DIGEST_SURFACES,
+    ORDER_INSENSITIVE_CALLS,
+    ORDERED_DICT_ALLOWED,
+    REPLAY_MODULE,
+    REPLAY_SCAN_CLASSES,
+)
+
+_BANNED_IMPORTS = frozenset({"random", "time"})
+_SET_HEADS = frozenset({"set", "Set", "frozenset", "FrozenSet"})
+_DICT_HEADS = frozenset({"dict", "Dict", "OrderedDict", "defaultdict",
+                         "DefaultDict", "Counter", "Mapping"})
+_LIST_HEADS = frozenset({"list", "List", "Sequence", "deque", "Deque",
+                         "tuple", "Tuple"})
+
+
+def _head_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _head_name(node.value)
+    return None
+
+
+def kind_of(ann: Optional[ast.AST]) -> Optional[str]:
+    """``"set"`` / ``"dict"`` / ``"list"`` / ``None`` for a type
+    annotation (or annotation-shaped inference result)."""
+    head = _head_name(ann) if ann is not None else None
+    if head in _SET_HEADS:
+        return "set"
+    if head in _DICT_HEADS:
+        return "dict"
+    if head in _LIST_HEADS:
+        return "list"
+    return None
+
+
+def _slice_elts(node: ast.Subscript) -> List[ast.expr]:
+    sl = node.slice
+    if isinstance(sl, ast.Tuple):
+        return list(sl.elts)
+    return [sl]
+
+
+def subscript_peel(ann: Optional[ast.AST]) -> Optional[ast.AST]:
+    """Element annotation after one ``container[i]`` access."""
+    if not isinstance(ann, ast.Subscript):
+        return None
+    kind = kind_of(ann)
+    elts = _slice_elts(ann)
+    if kind == "dict":
+        return elts[1] if len(elts) >= 2 else None
+    if kind in ("list", "set") and elts:
+        return elts[0]
+    return None
+
+
+def iter_elem(ann: Optional[ast.AST]) -> Optional[ast.AST]:
+    """Element annotation produced by iterating the container."""
+    if not isinstance(ann, ast.Subscript):
+        return None
+    elts = _slice_elts(ann)
+    return elts[0] if elts else None
+
+
+class _TypeEnv:
+    """Best-effort local type tracking inside one method."""
+
+    def __init__(self, self_name: str,
+                 attr_types: Dict[str, ast.AST]) -> None:
+        self.self_name = self_name
+        self.attr_types = attr_types
+        self.locals: Dict[str, Optional[ast.AST]] = {}
+
+    def infer(self, node: ast.AST) -> Optional[ast.AST]:
+        if isinstance(node, ast.Name):
+            return self.locals.get(node.id)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and \
+                    node.value.id == self.self_name:
+                return self.attr_types.get(node.attr)
+            if node.attr in ("keys", "values", "items"):
+                return self.infer(node.value)
+            return None
+        if isinstance(node, ast.Subscript):
+            return subscript_peel(self.infer(node.value))
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return ast.Name(id="set", ctx=ast.Load())
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return ast.Name(id="dict", ctx=ast.Load())
+        if isinstance(node, (ast.List, ast.ListComp, ast.Tuple,
+                             ast.GeneratorExp)):
+            return ast.Name(id="list", ctx=ast.Load())
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = _head_name(func)
+            if name in _SET_HEADS | _DICT_HEADS | _LIST_HEADS or \
+                    name == "sorted":
+                head = "list" if name == "sorted" else name
+                return ast.Name(id=str(head), ctx=ast.Load())
+            if isinstance(func, ast.Attribute):
+                if func.attr == "copy":
+                    return self.infer(func.value)
+                if func.attr in ("keys", "values", "items"):
+                    base = self.infer(func.value)
+                    if kind_of(base) == "dict":
+                        return ast.Name(id="dict", ctx=ast.Load())
+        return None
+
+    def bind(self, target: ast.AST, ann: Optional[ast.AST]) -> None:
+        if isinstance(target, ast.Name):
+            self.locals[target.id] = ann
+
+
+def init_attr_types(cls_node: ast.ClassDef,
+                    env_hint: Optional[_TypeEnv] = None
+                    ) -> Dict[str, ast.AST]:
+    """``attr -> annotation`` from ``__init__`` (explicit annotations
+    first, constructor-shape inference second)."""
+    types: Dict[str, ast.AST] = {}
+    for func in cls_node.body:
+        if not (isinstance(func, ast.FunctionDef)
+                and func.name == "__init__" and func.args.args):
+            continue
+        self_name = func.args.args[0].arg
+        env = env_hint or _TypeEnv(self_name, types)
+        for node in ast.walk(func):
+            target: Optional[ast.expr] = None
+            ann: Optional[ast.AST] = None
+            if isinstance(node, ast.AnnAssign):
+                target, ann = node.target, node.annotation
+                if ann is None and node.value is not None:
+                    ann = env.infer(node.value)
+            elif isinstance(node, ast.Assign):
+                target = node.targets[0]
+                ann = env.infer(node.value)
+            if ann is not None and \
+                    isinstance(target, ast.Attribute) and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == self_name:
+                types.setdefault(target.attr, ann)
+    return types
+
+
+def _safe_iter_nodes(func: ast.FunctionDef) -> Set[int]:
+    """``id()`` of iteration expressions consumed by an
+    order-insensitive reducer."""
+    safe: Set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _head_name(node.func)
+        if name not in ORDER_INSENSITIVE_CALLS:
+            continue
+        for arg in node.args:
+            safe.add(id(arg))
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                ast.SetComp)):
+                for gen in arg.generators:
+                    safe.add(id(gen.iter))
+    return safe
+
+
+class _IterScanner(ast.NodeVisitor):
+    """Flag unordered iteration inside one digest/key method."""
+
+    def __init__(self, cls: str, method: str, path: str,
+                 env: _TypeEnv, safe: Set[int]) -> None:
+        self.cls = cls
+        self.method = method
+        self.path = path
+        self.env = env
+        self.safe = safe
+        self.findings: List[AuditFinding] = []
+
+    def _check_iter(self, iter_expr: ast.expr) -> None:
+        if id(iter_expr) in self.safe:
+            return
+        kind = kind_of(self.env.infer(iter_expr))
+        if kind == "set":
+            self.findings.append(AuditFinding(
+                rule="unordered-iteration", severity=SEV_ERROR,
+                component=self.cls, attr=self.method,
+                location=f"{self.path}:{iter_expr.lineno}",
+                message=(
+                    "set iteration order reaches digest/key "
+                    "construction without an order-insensitive "
+                    "reducer (sorted/sum/min/...)")))
+        elif kind == "dict" and \
+                (self.cls, self.method) not in ORDERED_DICT_ALLOWED:
+            self.findings.append(AuditFinding(
+                rule="dict-iteration", severity=SEV_WARNING,
+                component=self.cls, attr=self.method,
+                location=f"{self.path}:{iter_expr.lineno}",
+                message=(
+                    "dict iteration order (construction history) "
+                    "reaches digest/key construction; allowlist in "
+                    "ORDERED_DICT_ALLOWED with a reason if the "
+                    "order is itself modeled state")))
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._check_iter(node.iter)
+        self.env.bind(node.target,
+                      iter_elem(self.env.infer(node.iter)))
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def _visit_comp(self, node: ast.AST,
+                    generators: Sequence[ast.comprehension]) -> None:
+        for gen in generators:
+            self.visit(gen.iter)
+            self._check_iter(gen.iter)
+            self.env.bind(gen.target,
+                          iter_elem(self.env.infer(gen.iter)))
+            for cond in gen.ifs:
+                self.visit(cond)
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, ast.comprehension):
+                self.visit(child)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, node.generators)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, node.generators)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comp(node, node.generators)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, node.generators)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _head_name(node.func)
+        if name == "iter" and len(node.args) == 1:
+            self._check_iter(node.args[0])
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self.env.bind(target, self.env.infer(node.value))
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self.env.bind(node.target, node.annotation)
+
+
+def scan_class_iteration(module: str, cls: str,
+                         roots: Tuple[str, ...]
+                         ) -> List[AuditFinding]:
+    """Unordered-iteration findings for *cls*'s digest/key methods
+    (*roots* plus their ``self``-call closure; all methods if empty).
+    """
+    path, tree, _ = parse_module(module)
+    cls_node = find_class(tree, cls, module)
+    attr_types = init_attr_types(cls_node)
+    facts = analyze_methods(cls_node)
+    if roots:
+        selected = transitive_closure(facts, roots)
+    else:
+        selected = set(facts)
+    findings: List[AuditFinding] = []
+    for func in cls_node.body:
+        if not isinstance(func, ast.FunctionDef) or \
+                func.name not in selected or not func.args.args:
+            continue
+        env = _TypeEnv(func.args.args[0].arg, attr_types)
+        for arg in func.args.args:
+            if arg.annotation is not None:
+                env.locals[arg.arg] = arg.annotation
+        scanner = _IterScanner(cls, func.name, path, env,
+                               _safe_iter_nodes(func))
+        for stmt in func.body:
+            scanner.visit(stmt)
+        findings.extend(scanner.findings)
+    return findings
+
+
+def scan_module_hazards(module: str) -> List[AuditFinding]:
+    """``id()`` calls and ``random``/``time`` imports in *module*."""
+    path, tree, _ = parse_module(module)
+    findings: List[AuditFinding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = [a.name for a in node.names]
+            if isinstance(node, ast.ImportFrom) and node.module:
+                names.append(node.module)
+            hits = sorted(
+                {n.split(".")[0] for n in names} & _BANNED_IMPORTS)
+            for hit in hits:
+                findings.append(AuditFinding(
+                    rule="nondeterministic-import",
+                    severity=SEV_ERROR, component=module, attr=hit,
+                    location=f"{path}:{node.lineno}",
+                    message=(
+                        f"import of {hit!r} on the simulate path: "
+                        f"wall-clock/RNG state cannot feed a "
+                        f"bit-for-bit timing model")))
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Name) and \
+                node.func.id == "id":
+            findings.append(AuditFinding(
+                rule="id-call", severity=SEV_ERROR,
+                component=module, attr="id",
+                location=f"{path}:{node.lineno}",
+                message=(
+                    "id() is an address, unstable across processes; "
+                    "any key or digest touching it breaks replay "
+                    "reproducibility")))
+    return findings
+
+
+def run_determinism() -> List[AuditFinding]:
+    """The full determinism-hazard pass over the simulate path."""
+    findings: List[AuditFinding] = []
+    for module in DETERMINISM_MODULES:
+        findings.extend(scan_module_hazards(module))
+    for spec in DIGEST_SURFACES:
+        if spec.digest_methods:
+            findings.extend(scan_class_iteration(
+                spec.module, spec.cls, spec.digest_methods))
+    for cls, roots in REPLAY_SCAN_CLASSES.items():
+        findings.extend(
+            scan_class_iteration(REPLAY_MODULE, cls, roots))
+    return findings
+
+
+__all__ = [
+    "init_attr_types",
+    "iter_elem",
+    "kind_of",
+    "run_determinism",
+    "scan_class_iteration",
+    "scan_module_hazards",
+    "subscript_peel",
+]

@@ -1,0 +1,633 @@
+"""AST-based state-model extraction over the simulator's own source.
+
+Given a :class:`~repro.analysis.selfcheck.model.ComponentSpec`, this
+module parses the component's module (via ``importlib`` spec lookup —
+no import is executed), walks the class definition, and produces a
+:class:`ComponentModel`: every instance attribute assigned in
+``__init__``, every attribute mutated on the simulate path (transitively
+through ``self`` helper calls, augmented assignment, container-mutation
+method calls, ``heapq`` calls, and locals aliasing ``self`` state —
+including aliases returned by helpers, e.g. ``entries, tag =
+self._locate(addr)``), and every attribute the digest surface reads.
+
+The extractor is deliberately syntactic: it never executes simulator
+code, so it can run in CI against any revision, and its few semantic
+assumptions (attribute docstring hints, the alias patterns above) are
+validated dynamically by :mod:`repro.analysis.selfcheck.fuzz`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+import importlib.util
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.selfcheck.model import (
+    ATTR_CELLS_FIELD,
+    CLASS_CONFIG,
+    CLASS_COUNTER,
+    CLASS_LIVE,
+    CLASS_PRESENTATIONAL,
+    CLASS_TIMING,
+    REPLAY_CLASS,
+    REPLAY_MODULE,
+    ROLE_LIVE,
+    ComponentSpec,
+    StateSpec,
+)
+
+#: method names that mutate their receiver in place
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "push",
+    "remove", "reverse", "setdefault", "sort", "update",
+})
+
+#: ``heapq`` functions that mutate their first argument
+HEAP_MUTATORS = frozenset({
+    "heapify", "heappop", "heappush", "heappushpop", "heapreplace",
+})
+
+_HINT_RE = re.compile(r"\[replay:\s*([a-z]+)\]")
+
+
+class ExtractionError(Exception):
+    """The source tree no longer matches the declared state model."""
+
+
+def module_source(module: str) -> Tuple[str, str]:
+    """``(path, source)`` for *module*, without importing it."""
+    spec = importlib.util.find_spec(module)
+    if spec is None or spec.origin is None:
+        raise ExtractionError(f"cannot locate module {module!r}")
+    with open(spec.origin) as handle:
+        return spec.origin, handle.read()
+
+
+def parse_module(module: str) -> Tuple[str, ast.Module, List[str]]:
+    """``(path, tree, source lines)`` for *module*."""
+    path, source = module_source(module)
+    return path, ast.parse(source, filename=path), source.splitlines()
+
+
+def find_class(tree: ast.Module, name: str,
+               module: str) -> ast.ClassDef:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    raise ExtractionError(f"class {name!r} not found in {module}")
+
+
+def _is_staticmethod(node: ast.FunctionDef) -> bool:
+    return any(isinstance(dec, ast.Name) and dec.id == "staticmethod"
+               for dec in node.decorator_list)
+
+
+def field_hint(lines: List[str], lineno: int) -> Optional[str]:
+    """The ``[replay: <class>]`` marker for an attribute assigned on
+    1-based *lineno*: a trailing comment on the line itself, or the
+    contiguous ``#:`` doc-comment block immediately above it."""
+    if 0 < lineno <= len(lines):
+        match = _HINT_RE.search(lines[lineno - 1])
+        if match:
+            return match.group(1)
+    row = lineno - 2
+    while row >= 0 and lines[row].lstrip().startswith("#"):
+        match = _HINT_RE.search(lines[row])
+        if match:
+            return match.group(1)
+        row -= 1
+    return None
+
+
+@dataclass
+class MethodFacts:
+    """What one method does to ``self`` state."""
+
+    name: str
+    #: dotted self-attribute paths the method mutates
+    mutated: Set[str] = field(default_factory=set)
+    #: dotted self-attribute paths the method reads (all prefixes)
+    reads: Set[str] = field(default_factory=set)
+    #: names of ``self`` methods the method calls
+    calls: Set[str] = field(default_factory=set)
+    #: return aliasing: tuple position (or None for the whole value)
+    #: -> self-attribute the returned object aliases
+    return_aliases: Dict[Optional[int], str] = field(
+        default_factory=dict)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Single-method walker collecting :class:`MethodFacts`.
+
+    ``aliases`` maps local names to the ``self`` attribute whose
+    container (or element) they alias; mutations through an alias are
+    charged to the attribute. ``helper_aliases`` carries the previous
+    extraction pass's per-method return aliasing so helper-returned
+    aliases resolve on the second pass.
+    """
+
+    def __init__(self, func: ast.FunctionDef, self_name: str,
+                 helper_aliases: Dict[str, Dict[Optional[int], str]]
+                 ) -> None:
+        self.facts = MethodFacts(func.name)
+        self._self = self_name
+        self._aliases: Dict[str, str] = {}
+        self._helper_aliases = helper_aliases
+        self._func = func
+
+    # -- path resolution -----------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted self-attribute path *node* denotes, or ``None``.
+
+        Subscripts resolve to their container: an element of
+        ``self._sets`` *is* ``self._sets`` for mutation purposes.
+        """
+        if isinstance(node, ast.Name):
+            if node.id == self._self:
+                return ""
+            return self._aliases.get(node.id)
+        if isinstance(node, ast.Attribute):
+            root = self.resolve(node.value)
+            if root is None:
+                return None
+            return f"{root}.{node.attr}" if root else node.attr
+        if isinstance(node, ast.Subscript):
+            return self.resolve(node.value)
+        return None
+
+    def _read(self, path: Optional[str]) -> None:
+        if path:
+            self.facts.reads.add(path)
+
+    def _mutate(self, path: Optional[str]) -> None:
+        if path:
+            self.facts.mutated.add(path)
+
+    # -- assignment / mutation collection ------------------------------
+
+    def _call_return_alias(self, call: ast.Call
+                           ) -> Optional[Dict[Optional[int], str]]:
+        """Return-alias spec when *call* invokes a ``self`` helper."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == self._self:
+            return self._helper_aliases.get(func.attr)
+        return None
+
+    def _bind_alias(self, target: ast.AST, value: ast.AST) -> None:
+        """Track locals that alias ``self`` state."""
+        if isinstance(target, ast.Tuple) and \
+                isinstance(value, ast.Call):
+            spec = self._call_return_alias(value)
+            for i, elt in enumerate(target.elts):
+                if isinstance(elt, ast.Name):
+                    path = spec.get(i) if spec else None
+                    self._set_alias(elt.id, path)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        path = self.resolve(value) if isinstance(
+            value, (ast.Attribute, ast.Subscript)) else None
+        if path is None and isinstance(value, ast.Call):
+            spec = self._call_return_alias(value)
+            if spec is not None:
+                path = spec.get(None)
+        self._set_alias(target.id, path)
+
+    def _set_alias(self, name: str, path: Optional[str]) -> None:
+        if path:
+            self._aliases[name] = path
+        else:
+            self._aliases.pop(name, None)
+
+    def _mutate_target(self, target: ast.AST) -> None:
+        """Record the mutation a store into *target* causes."""
+        if isinstance(target, ast.Attribute):
+            base = self.resolve(target.value)
+            if base is None:
+                return
+            if base == "":
+                self._mutate(target.attr)
+            elif "." not in base and base in self._aliases.values() \
+                    and not self._attr_of_self(target.value):
+                # field write through an element alias: the container
+                # element changed, charge the container
+                self._mutate(base)
+            else:
+                self._mutate(f"{base}.{target.attr}")
+        elif isinstance(target, ast.Subscript):
+            self._mutate(self.resolve(target.value))
+        elif isinstance(target, ast.Tuple):
+            for elt in target.elts:
+                self._mutate_target(elt)
+
+    def _attr_of_self(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) or (
+            isinstance(node, ast.Name) and node.id == self._self)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mutate_target(target)
+        self.visit(node.value)
+        for target in node.targets:
+            self._bind_alias(target, node.value)
+            self._visit_store_subscripts(target)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._mutate_target(node.target)
+        if node.value is not None:
+            self.visit(node.value)
+            self._bind_alias(node.target, node.value)
+        self._visit_store_subscripts(node.target)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mutate_target(node.target)
+        self.visit(node.value)
+        self._visit_store_subscripts(node.target)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._mutate_target(target)
+            self._visit_store_subscripts(target)
+
+    def _visit_store_subscripts(self, target: ast.AST) -> None:
+        """Index expressions inside a store target are still reads."""
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Subscript):
+                self.visit(sub.slice)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._bind_loop_target(node.target, node.iter)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def _bind_loop_target(self, target: ast.AST,
+                          iter_expr: ast.AST) -> None:
+        """Loop variables alias elements of the iterated container
+        (``for busy in self._busy``, ``for i, x in enumerate(...)``,
+        ``for a, b in zip(...)``)."""
+        sources: List[ast.AST] = []
+        if isinstance(iter_expr, ast.Call) and \
+                isinstance(iter_expr.func, ast.Name) and \
+                iter_expr.func.id in ("enumerate", "zip"):
+            if iter_expr.func.id == "enumerate":
+                sources = [ast.Constant(value=None)] + \
+                    list(iter_expr.args[:1])
+            else:
+                sources = list(iter_expr.args)
+        elif isinstance(iter_expr, (ast.Attribute, ast.Subscript)):
+            if isinstance(target, ast.Name):
+                self._set_alias(target.id, self.resolve(iter_expr))
+            return
+        if isinstance(target, ast.Tuple):
+            for elt, src in zip(target.elts, sources):
+                if isinstance(elt, ast.Name):
+                    self._set_alias(elt.id, self.resolve(src))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in MUTATOR_METHODS:
+                self._mutate(self.resolve(func.value))
+            base = self.resolve(func.value)
+            if base == "":
+                self.facts.calls.add(func.attr)
+            self._read(base)
+            self.visit(func.value)
+        elif isinstance(func, ast.Name):
+            name = func.id
+            if name in HEAP_MUTATORS and node.args:
+                self._mutate(self.resolve(node.args[0]))
+        if isinstance(func, ast.Attribute) and \
+                isinstance(func.value, ast.Name) and \
+                func.value.id == "heapq" and \
+                func.attr in HEAP_MUTATORS and node.args:
+            self._mutate(self.resolve(node.args[0]))
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            path = self.resolve(node)
+            if path:
+                self._read(path)
+            base = self.resolve(node.value)
+            self._read(base)
+        self.visit(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        self.visit(node.value)
+        if isinstance(node.value, ast.Tuple):
+            for i, elt in enumerate(node.value.elts):
+                path = self.resolve(elt)
+                if path:
+                    self.facts.return_aliases[i] = path.split(".")[0]
+        else:
+            path = self.resolve(node.value)
+            if path:
+                self.facts.return_aliases[None] = path.split(".")[0]
+
+    def run(self) -> MethodFacts:
+        for stmt in self._func.body:
+            self.visit(stmt)
+        return self.facts
+
+
+def analyze_methods(cls_node: ast.ClassDef
+                    ) -> Dict[str, MethodFacts]:
+    """Per-method facts for every method of *cls_node*.
+
+    Two passes: the first discovers return aliasing (helpers returning
+    views of ``self`` containers), the second charges mutations made
+    through those aliases.
+    """
+    methods = [node for node in cls_node.body
+               if isinstance(node, ast.FunctionDef)]
+    helper_aliases: Dict[str, Dict[Optional[int], str]] = {}
+    facts: Dict[str, MethodFacts] = {}
+    for _ in range(2):
+        facts = {}
+        for func in methods:
+            if _is_staticmethod(func) or not func.args.args:
+                facts[func.name] = MethodFacts(func.name)
+                continue
+            self_name = func.args.args[0].arg
+            visitor = _MethodVisitor(func, self_name, helper_aliases)
+            facts[func.name] = visitor.run()
+        helper_aliases = {name: f.return_aliases
+                          for name, f in facts.items()}
+    return facts
+
+
+def transitive_closure(facts: Dict[str, MethodFacts],
+                       roots: Iterable[str]) -> Set[str]:
+    """Methods reachable from *roots* via ``self`` calls."""
+    seen: Set[str] = set()
+    stack = [name for name in roots if name in facts]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(call for call in facts[name].calls
+                     if call in facts and call not in seen)
+    return seen
+
+
+@dataclass
+class FieldModel:
+    """One instance attribute of a modeled component."""
+
+    name: str
+    line: int
+    classification: str
+    hint: Optional[str]
+    #: simulate-path methods that mutate it
+    step_mutators: Tuple[str, ...]
+    #: key-side digest methods that read it
+    digest_readers: Tuple[str, ...]
+
+
+@dataclass
+class ComponentModel:
+    """The extracted state model of one component class."""
+
+    spec: ComponentSpec
+    path: str
+    fields: Dict[str, FieldModel]
+    method_names: Tuple[str, ...]
+    #: closure of the spec's step entry points over self calls
+    step_closure: Tuple[str, ...]
+    #: every path read by key-side digest methods
+    key_reads: Tuple[str, ...]
+    #: every path read by restore-side digest methods
+    restore_reads: Tuple[str, ...]
+
+    def timing_fields(self) -> List[str]:
+        return [name for name, f in self.fields.items()
+                if f.classification == CLASS_TIMING]
+
+    def covered_timing_fields(self) -> List[str]:
+        return [name for name in self.timing_fields()
+                if self.fields[name].digest_readers]
+
+
+def _classify(spec: ComponentSpec, name: str, hint: Optional[str],
+              mutated: bool) -> str:
+    if hint in (CLASS_TIMING, CLASS_COUNTER, CLASS_PRESENTATIONAL,
+                CLASS_CONFIG, CLASS_LIVE):
+        assert hint is not None
+        return hint
+    root = name.split(".")[0]
+    if name in spec.counters or root in spec.counters:
+        return CLASS_COUNTER
+    if name in spec.presentational or root in spec.presentational:
+        return CLASS_PRESENTATIONAL
+    if not mutated:
+        return CLASS_CONFIG
+    return CLASS_LIVE if spec.role == ROLE_LIVE else CLASS_TIMING
+
+
+def extract_component(spec: ComponentSpec) -> ComponentModel:
+    """Extract the state model :class:`ComponentSpec` declares."""
+    path, tree, lines = parse_module(spec.module)
+    cls_node = find_class(tree, spec.cls, spec.module)
+    facts = analyze_methods(cls_node)
+    missing = [m for m in spec.step_methods + spec.digest_methods
+               if m not in facts]
+    if missing:
+        raise ExtractionError(
+            f"{spec.label}: declared methods not found: {missing}")
+
+    declared: Dict[str, int] = {}
+    init = facts.get("__init__")
+    if init is not None:
+        for func in cls_node.body:
+            if isinstance(func, ast.FunctionDef) and \
+                    func.name == "__init__":
+                for node in ast.walk(func):
+                    target: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign):
+                        target = node.targets[0]
+                    elif isinstance(node, ast.AnnAssign):
+                        target = node.target
+                    if isinstance(target, ast.Attribute) and \
+                            isinstance(target.value, ast.Name) and \
+                            target.value.id == "self":
+                        declared.setdefault(target.attr, node.lineno)
+
+    step = transitive_closure(facts, spec.step_methods)
+    step_mutations: Dict[str, List[str]] = {}
+    for name in sorted(step):
+        for attr in facts[name].mutated:
+            step_mutations.setdefault(attr, []).append(name)
+
+    key_closure = transitive_closure(facts, spec.key_methods)
+    restore_closure = transitive_closure(facts, spec.restore_methods)
+    key_reads: Set[str] = set()
+    for name in key_closure:
+        key_reads |= facts[name].reads
+    restore_reads: Set[str] = set()
+    for name in restore_closure:
+        restore_reads |= facts[name].reads
+
+    fields: Dict[str, FieldModel] = {}
+    universe = dict(declared)
+    for attr in step_mutations:
+        universe.setdefault(attr, declared.get(attr.split(".")[0], 0))
+    for name, line in sorted(universe.items()):
+        hint = field_hint(lines, line) if line else None
+        mutators = tuple(step_mutations.get(name, ()))
+        readers = tuple(sorted(
+            m for m in spec.key_methods
+            if name in facts[m].reads or any(
+                name in facts[h].reads
+                for h in transitive_closure(facts, (m,)))))
+        fields[name] = FieldModel(
+            name=name, line=line,
+            classification=_classify(spec, name, hint, bool(mutators)),
+            hint=hint, step_mutators=mutators,
+            digest_readers=readers)
+
+    return ComponentModel(
+        spec=spec, path=path, fields=fields,
+        method_names=tuple(sorted(facts)),
+        step_closure=tuple(sorted(step)),
+        key_reads=tuple(sorted(key_reads)),
+        restore_reads=tuple(sorted(restore_reads)))
+
+
+def extract_attr_cells(module: str = REPLAY_MODULE,
+                       cls: str = REPLAY_CLASS) -> Tuple[str, ...]:
+    """The controller's attribute-delta cells as engine-rooted dotted
+    paths (``memsched.loads``, ``hierarchy.l1d.stats.accesses``, ...),
+    statically recovered from the ``_attr_cells`` tuple."""
+    _, tree, _ = parse_module(module)
+    cls_node = find_class(tree, cls, module)
+    for func in cls_node.body:
+        if not (isinstance(func, ast.FunctionDef)
+                and func.name == "__init__"):
+            continue
+        if len(func.args.args) < 2:
+            break
+        engine_param = func.args.args[1].arg
+        aliases: Dict[str, str] = {engine_param: ""}
+
+        def _resolve(node: ast.AST) -> Optional[str]:
+            if isinstance(node, ast.Name):
+                return aliases.get(node.id)
+            if isinstance(node, ast.Attribute):
+                root = _resolve(node.value)
+                if root is None:
+                    return None
+                return f"{root}.{node.attr}" if root else node.attr
+            return None
+
+        cells: List[str] = []
+        for node in ast.walk(func):
+            target: Optional[ast.expr]
+            value: Optional[ast.expr]
+            if isinstance(node, ast.Assign):
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            else:
+                continue
+            if value is None:
+                continue
+            if isinstance(target, ast.Name):
+                path = _resolve(value)
+                if path is not None:
+                    aliases[target.id] = path
+                continue
+            if isinstance(target, ast.Attribute) and \
+                    target.attr == ATTR_CELLS_FIELD:
+                if not isinstance(value, ast.Tuple):
+                    raise ExtractionError(
+                        f"{cls}.{ATTR_CELLS_FIELD} is not a tuple "
+                        f"literal")
+                for elt in value.elts:
+                    if not (isinstance(elt, ast.Tuple)
+                            and len(elt.elts) == 2
+                            and isinstance(elt.elts[1], ast.Constant)):
+                        raise ExtractionError(
+                            f"unrecognized {ATTR_CELLS_FIELD} entry")
+                    obj = _resolve(elt.elts[0])
+                    if obj is None:
+                        raise ExtractionError(
+                            f"cannot resolve {ATTR_CELLS_FIELD} cell "
+                            f"object to an engine path")
+                    cells.append(f"{obj}.{elt.elts[1].value}")
+                return tuple(cells)
+    raise ExtractionError(
+        f"{cls}.{ATTR_CELLS_FIELD} assignment not found in {module}")
+
+
+@dataclass
+class StateModel:
+    """Mutations of the cross-stage handoff object, per field."""
+
+    spec: StateSpec
+    #: declared dataclass fields, in declaration order
+    declared: Tuple[str, ...]
+    #: field -> ``module.function`` sites that mutate it
+    mutations: Dict[str, Tuple[str, ...]]
+
+
+def extract_state_model(spec: StateSpec) -> StateModel:
+    """Scan every stage module for mutations of the handoff object."""
+    _, tree, _ = parse_module(spec.module)
+    cls_node = find_class(tree, spec.cls, spec.module)
+    declared = tuple(
+        node.target.id for node in cls_node.body
+        if isinstance(node, ast.AnnAssign)
+        and isinstance(node.target, ast.Name))
+
+    mutations: Dict[str, List[str]] = {}
+    for module in spec.scan_modules:
+        _, mod_tree, _ = parse_module(module)
+        for func in ast.walk(mod_tree):
+            if not isinstance(func, ast.FunctionDef):
+                continue
+            if not any(arg.arg == spec.param
+                       for arg in func.args.args):
+                continue
+            visitor = _MethodVisitor(func, spec.param, {})
+            facts = visitor.run()
+            for path in facts.mutated:
+                root = path.split(".")[0]
+                site = f"{module}.{func.name}"
+                sites = mutations.setdefault(root, [])
+                if site not in sites:
+                    sites.append(site)
+    return StateModel(
+        spec=spec, declared=declared,
+        mutations={k: tuple(v) for k, v in sorted(mutations.items())})
+
+
+__all__ = [
+    "ComponentModel",
+    "ExtractionError",
+    "FieldModel",
+    "MethodFacts",
+    "StateModel",
+    "analyze_methods",
+    "extract_attr_cells",
+    "extract_component",
+    "extract_state_model",
+    "field_hint",
+    "find_class",
+    "module_source",
+    "parse_module",
+    "transitive_closure",
+]

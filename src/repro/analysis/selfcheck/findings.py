@@ -1,0 +1,35 @@
+"""Finding records shared by the self-audit lint passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One self-audit lint finding.
+
+    ``rule`` is a stable identifier (``digest-hole``,
+    ``counter-uncaptured``, ``state-hole``, ``unmodeled-read``,
+    ``unordered-iteration``, ``dict-iteration``, ``id-call``,
+    ``nondeterministic-import``); baselines and CI gates count
+    findings per rule, so identifiers must not be renamed casually.
+    """
+
+    rule: str
+    severity: str
+    component: str
+    attr: str
+    location: str
+    message: str
+
+    def render(self) -> str:
+        return (f"{self.severity.upper():7s} {self.rule:22s} "
+                f"{self.component}.{self.attr}  [{self.location}]\n"
+                f"        {self.message}")
+
+
+__all__ = ["AuditFinding", "SEV_ERROR", "SEV_WARNING"]

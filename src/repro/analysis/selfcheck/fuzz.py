@@ -1,0 +1,424 @@
+"""Mutation-fuzz oracle: the static coverage claim, validated live.
+
+The static lint proves "every timing field is *read* by a digest
+method" — a syntactic property. This module closes the semantic gap:
+for every modeled timing field it perturbs a warmed component (a
+deep copy, above the observability cut ``base``) and asserts the
+component's digest actually changes. A field the digest reads but
+normalizes away would pass the static check and fail here.
+
+Counters are validated the other way around: the live controller's
+``_attr_cells`` tuple is walked by object identity, proving each
+declared counter really is delta-captured on its engine path.
+
+Seeded holes make the oracle falsifiable (mirroring PR 4's
+static-vs-dynamic cross-check): for each digest class a *projection*
+drops one field's contribution from the digest — exactly the mutant a
+forgotten ``context_digest`` term would produce — and the oracle must
+report that holed digest blind. An ``unmodeled-field`` hole perturbs a
+brand-new attribute no digest knows about; the full digest must stay
+unchanged, which is the signal the static layer flags as a
+``digest-hole``.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+import heapq
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.selfcheck.extract import ComponentModel
+from repro.analysis.selfcheck.model import (
+    CLASS_COUNTER,
+    CLASS_TIMING,
+    DIGEST_SURFACES,
+)
+
+#: word address used to probe the store-forwarding digest
+PROBE_WORD = 0x1000
+#: workload the oracle warms its engine on (small but representative:
+#: real cache residency, forwarding entries, checkpoint traffic)
+WARM_WORKLOAD = "li"
+WARM_SCALE = 0.1
+
+Digest = Callable[[Any, int], Any]
+Mutate = Callable[[Any, int], None]
+
+
+@dataclass(frozen=True)
+class FieldProbe:
+    """Perturb one modeled field above the observability cut."""
+
+    field: str
+    perturb: Mutate
+    #: moves hidden state into the observable band first (e.g. the
+    #: rename unit digests to a shared idle token at or below base)
+    prepare: Optional[Mutate] = None
+
+
+@dataclass(frozen=True)
+class HoleSpec:
+    """One seeded digest hole the oracle must catch."""
+
+    name: str
+    field: str
+    #: digest projection dropping the field's contribution; ``None``
+    #: marks an unmodeled-field hole (full digest must stay blind)
+    project: Optional[Callable[[Any], Any]] = None
+    prepare: Optional[Mutate] = None
+
+
+@dataclass(frozen=True)
+class ClassPlan:
+    """Fuzz plan for one digest-surface class."""
+
+    cls: str
+    engine_path: str
+    digest: Digest
+    probes: Tuple[FieldProbe, ...]
+    holes: Tuple[HoleSpec, ...] = ()
+
+
+@dataclass
+class FieldResult:
+    cls: str
+    field: str
+    kind: str
+    #: digest (or cell capture) responded to the perturbation
+    observed: bool
+    detail: str = ""
+
+
+@dataclass
+class HoleResult:
+    cls: str
+    name: str
+    field: str
+    #: the oracle flagged the seeded hole (holed digest went blind)
+    caught: bool
+    detail: str = ""
+
+
+@dataclass
+class FuzzReport:
+    results: List[FieldResult] = field(default_factory=list)
+    holes: List[HoleResult] = field(default_factory=list)
+    #: static-model fields with no probe, and probes with no field
+    gaps: List[str] = field(default_factory=list)
+    warm_cycles: int = 0
+
+    def blind_fields(self) -> List[FieldResult]:
+        return [r for r in self.results if not r.observed]
+
+    def uncaught_holes(self) -> List[HoleResult]:
+        return [h for h in self.holes if not h.caught]
+
+    def ok(self) -> bool:
+        return not (self.blind_fields() or self.uncaught_holes()
+                    or self.gaps)
+
+
+def _rename_prepare(c: Any, base: int) -> None:
+    c._cycle = base + 5
+    c._count = 2
+    c._blocks = 1
+
+
+def _retire_prepare(c: Any, base: int) -> None:
+    c._cycle = base + 5
+    c._count = 1
+
+
+def _cache_digest(c: Any, base: int) -> Any:
+    return tuple(c.set_digest(i) for i in range(c.num_sets))
+
+
+def _memsched_digest(c: Any, base: int) -> Any:
+    return c.context_digest(base, (PROBE_WORD,))
+
+
+def build_plans() -> Tuple[ClassPlan, ...]:
+    """The per-class fuzz plans for every digest surface."""
+    return (
+        ClassPlan(
+            cls="FunctionalUnits", engine_path="fus",
+            digest=lambda c, b: c.context_digest(b),
+            probes=(
+                FieldProbe("_busy",
+                           lambda c, b: c._busy[0].add(b + 9)),
+                FieldProbe("_floor",
+                           lambda c, b: _set_item(
+                               c._floor, 0, b + 9)),
+            ),
+            holes=(
+                HoleSpec("drop compaction floors from the FU digest",
+                         "_floor", project=lambda d: d[0]),
+            )),
+        ClassPlan(
+            cls="ReservationStations", engine_path="rs",
+            digest=lambda c, b: c.context_digest(b),
+            probes=(
+                FieldProbe("_release",
+                           lambda c, b: heapq.heappush(
+                               c._release[0], b + 9)),
+            ),
+            holes=(
+                HoleSpec("collapse the RS digest to a constant",
+                         "_release", project=lambda d: ()),
+            )),
+        ClassPlan(
+            cls="CheckpointStore", engine_path="checkpoints",
+            digest=lambda c, b: c.context_digest(b),
+            probes=(
+                FieldProbe("_outstanding",
+                           lambda c, b: c._outstanding.append(b + 9)),
+                FieldProbe("_last_free",
+                           lambda c, b: setattr(
+                               c, "_last_free", b + 9)),
+            ),
+            holes=(
+                HoleSpec("drop the last-free high-water mark",
+                         "_last_free", project=lambda d: d[0]),
+            )),
+        ClassPlan(
+            cls="RenameUnit", engine_path="rename_unit",
+            digest=lambda c, b: c.context_digest(b),
+            probes=(
+                FieldProbe("_cycle",
+                           lambda c, b: setattr(c, "_cycle", b + 5)),
+                FieldProbe("_count",
+                           lambda c, b: setattr(
+                               c, "_count", c._count + 1),
+                           prepare=_rename_prepare),
+                FieldProbe("_blocks",
+                           lambda c, b: setattr(
+                               c, "_blocks", c._blocks + 1),
+                           prepare=_rename_prepare),
+            ),
+            holes=(
+                HoleSpec("drop the within-cycle rename count",
+                         "_count",
+                         project=lambda d: d if len(d) < 3
+                         else (d[0], d[2]),
+                         prepare=_rename_prepare),
+            )),
+        ClassPlan(
+            cls="RetireUnit", engine_path="retire_unit",
+            digest=lambda c, b: c.context_digest(b),
+            probes=(
+                FieldProbe("_cycle",
+                           lambda c, b: setattr(c, "_cycle", b + 5)),
+                FieldProbe("_count",
+                           lambda c, b: setattr(
+                               c, "_count", c._count + 1),
+                           prepare=_retire_prepare),
+            ),
+            holes=(
+                HoleSpec("drop the within-cycle retire count",
+                         "_count",
+                         project=lambda d: d if len(d) < 2 else d[0],
+                         prepare=_retire_prepare),
+            )),
+        ClassPlan(
+            cls="MemoryScheduler", engine_path="memsched",
+            digest=_memsched_digest,
+            probes=(
+                FieldProbe("_forward",
+                           lambda c, b: _set_key(
+                               c._forward, PROBE_WORD, b + 9)),
+                FieldProbe("_all_store_addrs_known",
+                           lambda c, b: setattr(
+                               c, "_all_store_addrs_known", b + 7)),
+            ),
+            holes=(
+                HoleSpec("drop forwarding entries from the digest",
+                         "_forward", project=lambda d: d[0]),
+                HoleSpec("drop the address-known horizon",
+                         "_all_store_addrs_known",
+                         project=lambda d: d[1]),
+            )),
+        ClassPlan(
+            cls="SetAssocCache", engine_path="hierarchy.l1d",
+            digest=_cache_digest,
+            probes=(
+                FieldProbe("_sets",
+                           lambda c, b: _set_key(
+                               c._sets[0], 0xDEADBEEF, None)),
+            ),
+            holes=(
+                HoleSpec("drop set 0 from the cache digest",
+                         "_sets", project=lambda d: d[1:]),
+                HoleSpec("perturb a field no digest models",
+                         "_selfcheck_phantom", project=None),
+            )),
+        ClassPlan(
+            cls="BypassNetwork", engine_path="bypass",
+            digest=lambda c, b: (), probes=()),
+    )
+
+
+def _set_item(seq: Any, idx: int, value: Any) -> None:
+    seq[idx] = value
+
+
+def _set_key(mapping: Any, key: Any, value: Any) -> None:
+    mapping[key] = value
+
+
+def _resolve(obj: Any, path: str) -> Any:
+    for part in path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def warm_engine() -> Tuple[Any, int]:
+    """A small engine warmed on the reference workload; returns the
+    engine and the observability base (past every live cycle)."""
+    from repro import workloads
+    from repro.core.config import SimConfig
+    from repro.core.engine import Engine
+    from repro.fillunit.opts.base import OptimizationConfig
+    from repro.machine import run_program
+
+    trace = run_program(workloads.build(WARM_WORKLOAD,
+                                        scale=WARM_SCALE))
+    engine = Engine(SimConfig.tiny(OptimizationConfig.all()))
+    result = engine.run(trace, benchmark=WARM_WORKLOAD,
+                        label="selfcheck-fuzz")
+    return engine, int(result.cycles) + 4
+
+
+def _probe_one(component: Any, base: int, plan: ClassPlan,
+               probe: FieldProbe) -> FieldResult:
+    c = copy.deepcopy(component)
+    if probe.prepare is not None:
+        probe.prepare(c, base)
+    before = plan.digest(c, base)
+    probe.perturb(c, base)
+    after = plan.digest(c, base)
+    return FieldResult(
+        cls=plan.cls, field=probe.field, kind="digest",
+        observed=before != after,
+        detail="digest changed" if before != after
+        else f"digest blind: {before!r} before and after")
+
+
+def _hole_one(component: Any, base: int, plan: ClassPlan,
+              hole: HoleSpec) -> HoleResult:
+    c = copy.deepcopy(component)
+    if hole.prepare is not None:
+        hole.prepare(c, base)
+    if hole.project is None:
+        before = plan.digest(c, base)
+        setattr(c, hole.field, base + 9)
+        after = plan.digest(c, base)
+        caught = before == after
+        detail = ("full digest blind to the unmodeled field, as the "
+                  "static digest-hole rule predicts" if caught else
+                  "digest unexpectedly observed an unmodeled field")
+        return HoleResult(plan.cls, hole.name, hole.field, caught,
+                          detail)
+    probe = next((p for p in plan.probes if p.field == hole.field),
+                 None)
+    if probe is None:
+        return HoleResult(plan.cls, hole.name, hole.field, False,
+                          "no probe covers the holed field")
+    if probe.prepare is not None:
+        probe.prepare(c, base)
+    full_before = plan.digest(c, base)
+    holed_before = hole.project(full_before)
+    probe.perturb(c, base)
+    full_after = plan.digest(c, base)
+    holed_after = hole.project(full_after)
+    caught = full_before != full_after and holed_before == holed_after
+    if caught:
+        detail = "holed digest went blind; full digest observed"
+    elif full_before == full_after:
+        detail = "full digest itself was blind (probe ineffective)"
+    else:
+        detail = "projection failed to remove the field contribution"
+    return HoleResult(plan.cls, hole.name, hole.field, caught, detail)
+
+
+def _check_counters(engine: Any, plans: Dict[str, ClassPlan]
+                    ) -> List[FieldResult]:
+    """Every declared counter must sit in the controller's attribute
+    cells, by object identity, on each delta path."""
+    results: List[FieldResult] = []
+    replay = engine.replay
+    cells = [] if replay is None else list(replay._attr_cells)
+    for spec in DIGEST_SURFACES:
+        for counter in spec.counters:
+            for path in spec.effective_delta_paths:
+                parts = counter.rsplit(".", 1)
+                holder = _resolve(engine, path if len(parts) == 1
+                                  else f"{path}.{parts[0]}")
+                name = parts[-1]
+                observed = any(obj is holder and cell_name == name
+                               for obj, cell_name in cells)
+                results.append(FieldResult(
+                    cls=spec.cls, field=counter, kind="counter",
+                    observed=observed,
+                    detail=f"attribute cell on {path}" if observed
+                    else f"no attribute cell covers {path}.{counter}"
+                ))
+    return results
+
+
+def run_fuzz(models: Optional[List[ComponentModel]] = None
+             ) -> FuzzReport:
+    """Run the full oracle on a freshly warmed engine."""
+    report = FuzzReport()
+    engine, base = warm_engine()
+    report.warm_cycles = base - 4
+    plans = {plan.cls: plan for plan in build_plans()}
+    for plan in plans.values():
+        component = _resolve(engine, plan.engine_path)
+        for probe in plan.probes:
+            report.results.append(
+                _probe_one(component, base, plan, probe))
+        for hole in plan.holes:
+            report.holes.append(
+                _hole_one(component, base, plan, hole))
+    report.results.extend(_check_counters(engine, plans))
+
+    if models is not None:
+        probed: Dict[str, set] = {}
+        for plan in plans.values():
+            probed.setdefault(plan.cls, set()).update(
+                p.field for p in plan.probes)
+        for cm in models:
+            if cm.spec.cls not in plans:
+                continue
+            have = probed.get(cm.spec.cls, set())
+            for name, fld in sorted(cm.fields.items()):
+                if fld.classification == CLASS_TIMING and \
+                        name not in have:
+                    report.gaps.append(
+                        f"fuzz-gap: {cm.spec.cls}.{name} is a "
+                        f"modeled timing field with no fuzz probe")
+            modeled = {
+                name for name, fld in cm.fields.items()
+                if fld.classification in (CLASS_TIMING,
+                                          CLASS_COUNTER)}
+            for name in sorted(have - set(cm.fields)):
+                report.gaps.append(
+                    f"fuzz-stale: {cm.spec.cls}.{name} is probed "
+                    f"but no longer in the extracted model")
+            del modeled
+    return report
+
+
+__all__ = [
+    "ClassPlan",
+    "FieldProbe",
+    "FieldResult",
+    "FuzzReport",
+    "HoleResult",
+    "HoleSpec",
+    "PROBE_WORD",
+    "build_plans",
+    "run_fuzz",
+    "warm_engine",
+]

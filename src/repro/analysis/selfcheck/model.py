@@ -1,0 +1,324 @@
+"""The replay-soundness state model: who participates, and how.
+
+PR 8's segment-level timing replay is an exact-state-equivalence
+argument: every machine resource a memoized visit can *observe* must be
+pinned by the context key, and everything it *writes* must be captured
+in the visit record. The surfaces that implement the argument
+(``context_digest`` / ``shift_digest`` / ``restore`` /
+``capture_delta`` / ``apply_delta``) are hand-enumerated, so the
+argument holds only as long as every new mutable field joins them.
+
+This module declares that obligation explicitly. Each
+:class:`ComponentSpec` names one replay-participating class, its role,
+the methods that constitute its simulate path, and its digest surface;
+:mod:`repro.analysis.selfcheck.extract` walks the class's AST against
+the spec, and :mod:`repro.analysis.selfcheck.coverage` turns the
+result into lint findings.
+
+Roles:
+
+* ``digest`` — state is keyed and restored through the component's own
+  digest surface. Every field mutated on the step path must be
+  ``timing`` (read by a key-side digest method), ``counter`` (captured
+  by the replay controller's attribute cells), or explicitly
+  allowlisted as ``presentational``.
+* ``live`` — the component runs live even during a replayed visit
+  (pillar 3 of the replay argument: trace cache, predictor, bias
+  table). Its state is exempt from digest coverage; it is still walked
+  (the model documents the live split) and determinism-linted.
+* ``state`` — the :class:`~repro.core.stages.base.MachineState`
+  handoff object. Its fields are classified against the spec's
+  ``captured`` / ``live`` / ``driver`` lists by scanning every stage
+  module for mutations.
+
+Field classification precedence: an in-source hint comment
+(``[replay: counter]`` on or above the ``__init__`` assignment), then
+the spec's explicit ``counters`` / ``presentational`` allowlists, then
+derivation — mutated on the step path means ``timing``, untouched
+means ``config``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+ROLE_DIGEST = "digest"
+ROLE_LIVE = "live"
+ROLE_STATE = "state"
+
+CLASS_TIMING = "timing"
+CLASS_COUNTER = "counter"
+CLASS_PRESENTATIONAL = "presentational"
+CLASS_CONFIG = "config"
+CLASS_LIVE = "live"
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One replay-participating class and its declared obligations."""
+
+    module: str
+    cls: str
+    role: str
+    #: simulate-path entry points; helper closure is computed from here
+    step_methods: Tuple[str, ...] = ()
+    #: key-side digest surface: what the context key / capture reads
+    key_methods: Tuple[str, ...] = ()
+    #: restore-side digest surface: what a replayed visit writes back
+    restore_methods: Tuple[str, ...] = ()
+    #: where instances hang off the engine (dotted attribute paths)
+    engine_paths: Tuple[str, ...] = ()
+    #: fields captured as plain attribute deltas by the controller
+    counters: Tuple[str, ...] = ()
+    #: telemetry/debug fields exempt from coverage (the allowlist)
+    presentational: Tuple[str, ...] = ()
+    #: engine paths whose counters must appear in the controller's
+    #: attribute cells; defaults to ``engine_paths``. Instances that
+    #: run live during replayed visits (the L1I: fetch executes before
+    #: the replay decision on both paths) are correctly absent.
+    delta_paths: Tuple[str, ...] = ()
+
+    @property
+    def digest_methods(self) -> Tuple[str, ...]:
+        return self.key_methods + self.restore_methods
+
+    @property
+    def effective_delta_paths(self) -> Tuple[str, ...]:
+        return self.delta_paths or self.engine_paths
+
+    @property
+    def label(self) -> str:
+        return f"{self.module}.{self.cls}"
+
+
+@dataclass(frozen=True)
+class StateSpec:
+    """The cross-stage handoff object and its replay contract."""
+
+    module: str
+    cls: str
+    #: modules whose functions mutate the handoff object
+    scan_modules: Tuple[str, ...]
+    #: parameter name the stages receive the object under
+    param: str
+    #: fields the replay controller captures and writes back
+    captured: Tuple[str, ...]
+    #: fields rebuilt by the live split on every visit
+    live: Tuple[str, ...]
+    #: fields the engine driver advances identically on both paths
+    driver: Tuple[str, ...]
+
+    @property
+    def label(self) -> str:
+        return f"{self.module}.{self.cls}"
+
+
+#: the components whose digest surfaces carry the replay argument
+DIGEST_SURFACES: Tuple[ComponentSpec, ...] = (
+    ComponentSpec(
+        module="repro.core.clusters", cls="FunctionalUnits",
+        role=ROLE_DIGEST,
+        step_methods=("reserve", "prune_below"),
+        key_methods=("context_digest", "shift_digest"),
+        restore_methods=("restore",),
+        engine_paths=("fus",)),
+    ComponentSpec(
+        module="repro.core.clusters", cls="ReservationStations",
+        role=ROLE_DIGEST,
+        step_methods=("admit", "occupy"),
+        key_methods=("context_digest", "shift_digest"),
+        restore_methods=("restore",),
+        engine_paths=("rs",)),
+    ComponentSpec(
+        module="repro.core.clusters", cls="BypassNetwork",
+        role=ROLE_DIGEST,
+        step_methods=("effective_ready", "cluster_of_slot"),
+        engine_paths=("bypass",),
+        counters=("crossings",)),
+    ComponentSpec(
+        module="repro.core.clusters", cls="CheckpointStore",
+        role=ROLE_DIGEST,
+        step_methods=("acquire", "commit"),
+        key_methods=("context_digest", "shift_digest"),
+        restore_methods=("restore",),
+        engine_paths=("checkpoints",),
+        counters=("stalls",)),
+    ComponentSpec(
+        module="repro.core.rename", cls="RenameUnit",
+        role=ROLE_DIGEST,
+        step_methods=("rename",),
+        key_methods=("context_digest", "shift_digest"),
+        restore_methods=("restore",),
+        engine_paths=("rename_unit",),
+        counters=("window_stalls", "block_limit_stalls",
+                  "width_stalls")),
+    ComponentSpec(
+        module="repro.core.rename", cls="RetireUnit",
+        role=ROLE_DIGEST,
+        step_methods=("retire",),
+        key_methods=("context_digest", "shift_digest"),
+        restore_methods=("restore",),
+        engine_paths=("retire_unit",)),
+    ComponentSpec(
+        module="repro.core.memsched", cls="MemoryScheduler",
+        role=ROLE_DIGEST,
+        step_methods=("load_timing", "store_timing", "prune_stale"),
+        key_methods=("forward_entries", "context_digest",
+                     "capture_delta"),
+        restore_methods=("apply_delta",),
+        engine_paths=("memsched",),
+        counters=("loads", "stores", "forwarded_loads",
+                  "blocked_loads")),
+    ComponentSpec(
+        module="repro.cache.setassoc", cls="SetAssocCache",
+        role=ROLE_DIGEST,
+        step_methods=("access", "fill"),
+        key_methods=("set_index", "set_digest"),
+        restore_methods=("restore_set",),
+        engine_paths=("hierarchy.l1i", "hierarchy.l1d",
+                      "hierarchy.l2"),
+        counters=("stats.accesses", "stats.hits"),
+        delta_paths=("hierarchy.l1d", "hierarchy.l2")),
+)
+
+#: pillar-3 components: run live during replayed visits, digest-exempt
+LIVE_SURFACES: Tuple[ComponentSpec, ...] = (
+    ComponentSpec(
+        module="repro.tracecache.cache", cls="TraceCache",
+        role=ROLE_LIVE,
+        step_methods=("lookup", "insert", "touch"),
+        engine_paths=("trace_cache",),
+        presentational=("events", "spans", "_residency")),
+    ComponentSpec(
+        module="repro.branch.predictor", cls="MultiBranchPredictor",
+        role=ROLE_LIVE,
+        step_methods=("predict_cond", "update_cond", "record_outcome",
+                      "predict_indirect", "train_indirect",
+                      "note_call"),
+        engine_paths=("predictor",)),
+    ComponentSpec(
+        module="repro.branch.bias", cls="BiasTable",
+        role=ROLE_LIVE,
+        step_methods=("record",),
+        engine_paths=("predictor.bias",)),
+    ComponentSpec(
+        module="repro.branch.pht", cls="PatternHistoryTable",
+        role=ROLE_LIVE,
+        step_methods=("predict", "update")),
+    ComponentSpec(
+        module="repro.branch.pht", cls="GlobalHistory",
+        role=ROLE_LIVE,
+        step_methods=("push",),
+        engine_paths=("predictor.history",)),
+    ComponentSpec(
+        module="repro.branch.counters", cls="SaturatingCounterArray",
+        role=ROLE_LIVE,
+        step_methods=("predict", "update", "value")),
+    ComponentSpec(
+        module="repro.branch.ras", cls="ReturnAddressStack",
+        role=ROLE_LIVE,
+        step_methods=("push", "pop"),
+        engine_paths=("predictor.ras",)),
+    ComponentSpec(
+        module="repro.branch.btb", cls="BranchTargetBuffer",
+        role=ROLE_LIVE,
+        step_methods=("predict", "update"),
+        engine_paths=("predictor.btb",)),
+)
+
+#: the cross-stage handoff object: what replay must put back
+MACHINE_STATE = StateSpec(
+    module="repro.core.stages.base", cls="MachineState",
+    scan_modules=("repro.core.stages.fetch", "repro.core.stages.rename",
+                  "repro.core.stages.issue",
+                  "repro.core.stages.execute",
+                  "repro.core.stages.retire", "repro.core.stages.fill",
+                  "repro.core.stages.ineff", "repro.core.engine"),
+    param="state",
+    captured=("reg_ready", "retire_cycles", "fetch_ready",
+              "pending_recovery", "pending_serialize"),
+    live=("group",),
+    driver=("index",))
+
+#: where the controller's attribute-delta cells are declared
+REPLAY_MODULE = "repro.core.replay"
+REPLAY_CLASS = "ReplayController"
+ATTR_CELLS_FIELD = "_attr_cells"
+#: the controller's key/digest builders, determinism-linted like the
+#: components' own key methods
+REPLAY_KEY_FUNCTIONS: Tuple[str, ...] = (
+    "_build_key", "_segment_static", "_touched_sets", "_reg_digest",
+    "_window_digest")
+
+#: the simulate path proper: importing ``random``/``time`` or calling
+#: ``id()`` anywhere here is a determinism hazard (wall-clock and
+#: address-space dependence have no place in a bit-for-bit model)
+DETERMINISM_MODULES: Tuple[str, ...] = (
+    "repro.core.replay", "repro.core.clusters", "repro.core.rename",
+    "repro.core.memsched", "repro.cache.setassoc",
+    "repro.cache.hierarchy", "repro.core.engine",
+    "repro.core.stages.base", "repro.core.stages.fetch",
+    "repro.core.stages.rename", "repro.core.stages.issue",
+    "repro.core.stages.execute", "repro.core.stages.retire",
+    "repro.core.stages.fill", "repro.core.stages.ineff",
+    "repro.tracecache.cache", "repro.tracecache.segment",
+    "repro.branch.predictor", "repro.branch.bias", "repro.branch.pht",
+    "repro.branch.btb", "repro.branch.ras", "repro.branch.counters",
+)
+
+#: digest/key methods allowed to iterate a dict: insertion order *is*
+#: the modelled state there, not an accident of construction
+ORDERED_DICT_ALLOWED: Dict[Tuple[str, str], str] = {
+    ("SetAssocCache", "set_digest"):
+        "insertion order is the LRU order — exact state, "
+        "reference-sequence-determined",
+    ("TimingMemo", "approx_bytes"):
+        "sampling walk; result feeds a gauge, never a key",
+    ("TimingMemo", "store"):
+        "FIFO eviction reads the insertion-ordered head — "
+        "deterministic, and never feeds a key",
+}
+
+#: non-component classes in the replay module whose methods feed (or
+#: sit next to) memo-key construction, determinism-linted too:
+#: ``class -> method roots`` (empty tuple means every method)
+REPLAY_SCAN_CLASSES: Dict[str, Tuple[str, ...]] = {
+    REPLAY_CLASS: REPLAY_KEY_FUNCTIONS,
+    "TimingMemo": (),
+}
+
+#: reducers whose result does not depend on iteration order
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "len", "any", "all", "frozenset"})
+
+
+def all_surfaces() -> Tuple[ComponentSpec, ...]:
+    """Every component spec, digest surfaces first."""
+    return DIGEST_SURFACES + LIVE_SURFACES
+
+
+__all__ = [
+    "ATTR_CELLS_FIELD",
+    "CLASS_CONFIG",
+    "CLASS_COUNTER",
+    "CLASS_LIVE",
+    "CLASS_PRESENTATIONAL",
+    "CLASS_TIMING",
+    "ComponentSpec",
+    "DETERMINISM_MODULES",
+    "DIGEST_SURFACES",
+    "LIVE_SURFACES",
+    "MACHINE_STATE",
+    "ORDERED_DICT_ALLOWED",
+    "ORDER_INSENSITIVE_CALLS",
+    "REPLAY_CLASS",
+    "REPLAY_KEY_FUNCTIONS",
+    "REPLAY_MODULE",
+    "REPLAY_SCAN_CLASSES",
+    "ROLE_DIGEST",
+    "ROLE_LIVE",
+    "ROLE_STATE",
+    "StateSpec",
+    "all_surfaces",
+]

@@ -1,0 +1,275 @@
+"""Self-audit orchestration: extract, lint, fuzz, gate.
+
+:func:`run_self_audit` runs the whole replay-soundness audit —
+state-model extraction, digest-coverage and determinism lints, the
+seeded static hole mutants, and (optionally) the live mutation-fuzz
+oracle — and returns one :class:`SelfAuditReport`.
+
+The report gates CI through :meth:`SelfAuditReport.failures`: new
+error findings (or any, without a baseline), warning-count
+regressions, any blind fuzz field, any uncaught seeded hole, and any
+baseline coverage field that dropped out of the digest-covered set
+(``loosened coverage``) all fail the audit. The baseline is a pure
+ratchet — regenerating it with ``audit --write-baseline`` is the only
+sanctioned way to accept new findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.selfcheck.coverage import (
+    check_component,
+    coverage_map,
+    run_coverage,
+)
+from repro.analysis.selfcheck.determinism import run_determinism
+from repro.analysis.selfcheck.extract import (
+    ComponentModel,
+    FieldModel,
+    StateModel,
+    extract_attr_cells,
+    extract_component,
+    extract_state_model,
+)
+from repro.analysis.selfcheck.findings import (
+    SEV_ERROR,
+    SEV_WARNING,
+    AuditFinding,
+)
+from repro.analysis.selfcheck.fuzz import FuzzReport, run_fuzz
+from repro.analysis.selfcheck.model import (
+    CLASS_TIMING,
+    MACHINE_STATE,
+    ROLE_DIGEST,
+    all_surfaces,
+)
+
+#: schema tag for the checked-in baseline file
+BASELINE_SCHEMA = 1
+
+#: synthetic field name used by both seeded-hole layers
+PHANTOM_FIELD = "_selfcheck_phantom"
+
+
+@dataclass
+class ComponentSummary:
+    """Export-friendly digest of one extracted component model."""
+
+    cls: str
+    module: str
+    role: str
+    #: field -> {classification, mutators, readers}
+    fields: Dict[str, Dict[str, Any]]
+    covered: List[str]
+
+
+@dataclass
+class StaticHoleResult:
+    """One seeded mutant of the *static* model: a field dropped from
+    its digest-reader set, or a new mutated field left unmodeled."""
+
+    cls: str
+    name: str
+    field: str
+    caught: bool
+
+
+@dataclass
+class SelfAuditReport:
+    """Everything one audit run produced."""
+
+    components: List[ComponentSummary]
+    findings: List[AuditFinding]
+    attr_cells: List[str]
+    state_mutations: Dict[str, List[str]]
+    static_holes: List[StaticHoleResult]
+    fuzz: Optional[FuzzReport] = None
+    coverage: Dict[str, List[str]] = field(default_factory=dict)
+
+    def errors(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.severity == SEV_ERROR]
+
+    def warnings(self) -> List[AuditFinding]:
+        return [f for f in self.findings
+                if f.severity == SEV_WARNING]
+
+    def rule_counts(self, severity: str) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            if f.severity == severity:
+                counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def uncaught_static_holes(self) -> List[StaticHoleResult]:
+        return [h for h in self.static_holes if not h.caught]
+
+    def failures(self, baseline: Optional[dict] = None) -> List[str]:
+        """Human-readable gate failures; empty means the audit passed.
+        """
+        out: List[str] = []
+        base_rules: Dict[str, Dict[str, int]] = (
+            baseline or {}).get("rules", {})
+        for severity in (SEV_ERROR, SEV_WARNING):
+            allowed = base_rules.get(severity, {})
+            for rule, count in sorted(
+                    self.rule_counts(severity).items()):
+                cap = allowed.get(rule, 0)
+                if count > cap:
+                    out.append(
+                        f"{severity} rule {rule}: {count} finding(s)"
+                        f" vs {cap} allowed by baseline")
+        for hole in self.uncaught_static_holes():
+            out.append(
+                f"static hole NOT caught: {hole.cls}.{hole.field} "
+                f"({hole.name})")
+        if self.fuzz is not None:
+            for r in self.fuzz.blind_fields():
+                out.append(
+                    f"fuzz-blind: {r.cls}.{r.field} — {r.detail}")
+            for h in self.fuzz.uncaught_holes():
+                out.append(
+                    f"fuzz hole NOT caught: {h.cls}.{h.field} "
+                    f"({h.name}): {h.detail}")
+            out.extend(self.fuzz.gaps)
+        base_cov = (baseline or {}).get("coverage", {})
+        for cls, fields_ in sorted(base_cov.items()):
+            now = set(self.coverage.get(cls, []))
+            for name in sorted(set(fields_) - now):
+                out.append(
+                    f"loosened coverage: {cls}.{name} was digest-"
+                    f"covered in the baseline but is not anymore")
+        return out
+
+    def baseline_payload(self) -> dict:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "rules": {
+                SEV_ERROR: self.rule_counts(SEV_ERROR),
+                SEV_WARNING: self.rule_counts(SEV_WARNING),
+            },
+            "coverage": {cls: sorted(fields_) for cls, fields_
+                         in sorted(self.coverage.items())},
+        }
+
+    def summary(self) -> str:
+        lines = ["replay-soundness self-audit"]
+        lines.append(
+            f"  components: {len(self.components)} "
+            f"({sum(1 for c in self.components if c.role == 'digest')}"
+            f" digest surfaces), attribute cells: "
+            f"{len(self.attr_cells)}")
+        total_fields = sum(len(c.fields) for c in self.components)
+        covered = sum(len(c.covered) for c in self.components)
+        lines.append(
+            f"  modeled fields: {total_fields}, digest-covered "
+            f"timing fields: {covered}")
+        lines.append(
+            f"  findings: {len(self.errors())} error(s), "
+            f"{len(self.warnings())} warning(s)")
+        caught = sum(1 for h in self.static_holes if h.caught)
+        lines.append(
+            f"  seeded static holes: {caught}/"
+            f"{len(self.static_holes)} caught")
+        if self.fuzz is not None:
+            probes = [r for r in self.fuzz.results
+                      if r.kind == "digest"]
+            cells = [r for r in self.fuzz.results
+                     if r.kind == "counter"]
+            fcaught = sum(1 for h in self.fuzz.holes if h.caught)
+            lines.append(
+                f"  fuzz oracle: {sum(r.observed for r in probes)}/"
+                f"{len(probes)} digest probes observed, "
+                f"{sum(r.observed for r in cells)}/{len(cells)} "
+                f"counter cells verified, seeded holes "
+                f"{fcaught}/{len(self.fuzz.holes)} caught "
+                f"(warmed {self.fuzz.warm_cycles} cycles)")
+        return "\n".join(lines)
+
+
+def _summarize(cm: ComponentModel) -> ComponentSummary:
+    return ComponentSummary(
+        cls=cm.spec.cls, module=cm.spec.module, role=cm.spec.role,
+        fields={
+            name: {
+                "classification": f.classification,
+                "mutators": list(f.step_mutators),
+                "readers": list(f.digest_readers),
+            } for name, f in sorted(cm.fields.items())},
+        covered=cm.covered_timing_fields())
+
+
+def _holed(cm: ComponentModel, drop: str) -> ComponentModel:
+    """A copy of *cm* whose field *drop* lost its digest readers —
+    the mutant a forgotten ``context_digest`` term produces."""
+    fields = dict(cm.fields)
+    fields[drop] = replace(fields[drop], digest_readers=())
+    return replace(cm, fields=fields)
+
+
+def _with_phantom(cm: ComponentModel) -> ComponentModel:
+    """A copy of *cm* with a new mutated-but-unmodeled timing field."""
+    fields = dict(cm.fields)
+    fields[PHANTOM_FIELD] = FieldModel(
+        name=PHANTOM_FIELD, line=0, classification=CLASS_TIMING,
+        hint=None, step_mutators=("step",), digest_readers=())
+    return replace(cm, fields=fields)
+
+
+def seed_static_holes(models: Sequence[ComponentModel],
+                      cells: Sequence[str]
+                      ) -> List[StaticHoleResult]:
+    """Run the coverage lint against seeded mutants of each model:
+    every digest-covered timing field dropped from its readers, plus
+    one phantom unmodeled field per component. Each mutant must
+    produce a ``digest-hole`` error naming the field."""
+    results: List[StaticHoleResult] = []
+    for cm in models:
+        if cm.spec.role != ROLE_DIGEST or not cm.spec.key_methods:
+            continue
+        for name in cm.covered_timing_fields():
+            found = check_component(_holed(cm, name), cells)
+            caught = any(f.rule == "digest-hole" and f.attr == name
+                         for f in found)
+            results.append(StaticHoleResult(
+                cls=cm.spec.cls, field=name, caught=caught,
+                name=f"drop {name} from the digest-reader set"))
+        found = check_component(_with_phantom(cm), cells)
+        caught = any(f.rule == "digest-hole"
+                     and f.attr == PHANTOM_FIELD for f in found)
+        results.append(StaticHoleResult(
+            cls=cm.spec.cls, field=PHANTOM_FIELD, caught=caught,
+            name="new mutated field left out of the model"))
+    return results
+
+
+def run_self_audit(with_fuzz: bool = True) -> SelfAuditReport:
+    """The full audit: extract, lint, seed holes, optionally fuzz."""
+    models = [extract_component(s) for s in all_surfaces()]
+    cells = extract_attr_cells()
+    state: StateModel = extract_state_model(MACHINE_STATE)
+    findings = run_coverage(models, state, cells)
+    findings.extend(run_determinism())
+    report = SelfAuditReport(
+        components=[_summarize(cm) for cm in models],
+        findings=findings,
+        attr_cells=list(cells),
+        state_mutations={k: list(v)
+                         for k, v in state.mutations.items()},
+        static_holes=seed_static_holes(models, cells),
+        coverage=coverage_map(models))
+    if with_fuzz:
+        report.fuzz = run_fuzz(models)
+    return report
+
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "ComponentSummary",
+    "PHANTOM_FIELD",
+    "SelfAuditReport",
+    "StaticHoleResult",
+    "run_self_audit",
+    "seed_static_holes",
+]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 from repro.errors import ConfigError
 
 
@@ -13,10 +15,10 @@ class BranchTargetBuffer:
             raise ConfigError(f"entry count {entries} must be a power of two")
         self.entries = entries
         self._mask = entries - 1
-        self._tags = [None] * entries
+        self._tags: List[Optional[int]] = [None] * entries
         self._targets = [0] * entries
 
-    def predict(self, pc: int):
+    def predict(self, pc: int) -> Optional[int]:
         """Predicted target for the control instruction at *pc*, or
         ``None`` on a BTB miss."""
         idx = (pc >> 2) & self._mask

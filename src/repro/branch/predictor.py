@@ -15,6 +15,7 @@ fill unit) decides promotion via the :class:`~repro.branch.bias.BiasTable`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.branch.bias import BiasTable
 from repro.branch.btb import BranchTargetBuffer
@@ -27,7 +28,7 @@ from repro.errors import ConfigError
 class PredictorConfig:
     """Sizing knobs for the whole prediction complex."""
 
-    pht_entries: tuple = (65536, 16384, 8192)
+    pht_entries: Tuple[int, ...] = (65536, 16384, 8192)
     history_bits: int = 12
     bias_entries: int = 8192
     promote_threshold: int = 64
@@ -64,13 +65,15 @@ class PredictorStats:
 class MultiBranchPredictor:
     """Three skewed PHTs + bias table + RAS + BTB."""
 
-    def __init__(self, config: PredictorConfig = None) -> None:
+    def __init__(self,
+                 config: Optional[PredictorConfig] = None) -> None:
         self.config = config if config is not None else PredictorConfig()
         cfg = self.config
         if len(cfg.pht_entries) < 1:
             raise ConfigError("need at least one PHT")
-        self.phts = [PatternHistoryTable(entries, cfg.history_bits)
-                     for entries in cfg.pht_entries]
+        self.phts: List[PatternHistoryTable] = [
+            PatternHistoryTable(entries, cfg.history_bits)
+            for entries in cfg.pht_entries]
         self.history = GlobalHistory(cfg.history_bits)
         self.bias = BiasTable(cfg.bias_entries, cfg.promote_threshold)
         self.ras = ReturnAddressStack(cfg.ras_depth)
@@ -110,7 +113,8 @@ class MultiBranchPredictor:
 
     # -- indirect control ------------------------------------------------
 
-    def predict_indirect(self, pc: int, is_return: bool):
+    def predict_indirect(self, pc: int,
+                         is_return: bool) -> Optional[int]:
         """Predicted target for an indirect jump, or ``None``."""
         self.stats.indirect_predictions += 1
         if is_return:

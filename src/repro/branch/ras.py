@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class ReturnAddressStack:
     """A fixed-depth circular return address stack.
@@ -12,7 +14,7 @@ class ReturnAddressStack:
 
     def __init__(self, depth: int = 16) -> None:
         self.depth = depth
-        self._stack: list = []
+        self._stack: List[int] = []
         self.pushes = 0
         self.pops = 0
 
@@ -22,7 +24,7 @@ class ReturnAddressStack:
         if len(self._stack) > self.depth:
             self._stack.pop(0)
 
-    def pop(self):
+    def pop(self) -> Optional[int]:
         """Predicted return target, or ``None`` when empty."""
         self.pops += 1
         if self._stack:

@@ -66,6 +66,9 @@ class SetAssocCache:
         # set index -> {tag: None}, insertion order == LRU order.
         self._sets: List[Dict[int, None]] = [
             dict() for _ in range(self.num_sets)]
+        #: hit/access counters; delta-captured per instance by
+        #: the replay controller's attribute cells (the L1I runs
+        #: live on both paths and is deliberately uncaptured)
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------

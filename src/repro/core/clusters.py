@@ -184,6 +184,8 @@ class BypassNetwork:
         self.cluster_size = cluster_size
         self.penalty = penalty
         #: operand deliveries that paid the cross-cluster penalty
+        #: [replay: counter] — delta-captured by the controller's
+        #: attribute cells, not digested
         self.crossings = 0
 
     def cluster_of_slot(self, slot: int) -> int:
@@ -219,6 +221,7 @@ class CheckpointStore:
         self.capacity = capacity
         self._outstanding: "deque[int]" = deque()
         self._last_free = 0
+        #: [replay: counter] acquisitions delayed by a full store
         self.stalls = 0
 
     def acquire(self, rename_cycle: int) -> int:

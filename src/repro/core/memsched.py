@@ -33,10 +33,13 @@ class MemoryScheduler:
         self.forward_window = forward_window
         self._all_store_addrs_known = 0
         self._forward: Dict[int, int] = {}  # word addr -> data-ready
+        #: [replay: counter] traffic counters, delta-captured by
+        #: the replay controller's attribute cells
         self.loads = 0
-        self.stores = 0
-        self.forwarded_loads = 0
-        self.blocked_loads = 0      # delayed by an unknown store address
+        self.stores = 0              # [replay: counter]
+        self.forwarded_loads = 0     # [replay: counter]
+        #: [replay: counter] delayed by an unknown store address
+        self.blocked_loads = 0
 
     # ------------------------------------------------------------------
 

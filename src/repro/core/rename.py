@@ -32,9 +32,11 @@ class RenameUnit:
         self._cycle = 0
         self._count = 0
         self._blocks = 0
+        #: [replay: counter] the three stall taxonomies are
+        #: delta-captured by the replay controller, not digested
         self.window_stalls = 0
-        self.block_limit_stalls = 0
-        self.width_stalls = 0
+        self.block_limit_stalls = 0  # [replay: counter]
+        self.width_stalls = 0        # [replay: counter]
 
     def rename(self, fetch_cycle: int, is_block_end: bool,
                window_release: int, not_before: int = 0) -> int:

@@ -21,7 +21,7 @@ Two fidelity details matter a great deal in practice and are modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.tracecache.segment import TraceSegment
@@ -64,30 +64,37 @@ class TraceCache:
     """Set-associative storage of trace segments, LRU replacement,
     path-associative lookup."""
 
-    def __init__(self, config: TraceCacheConfig = None) -> None:
+    def __init__(self,
+                 config: Optional[TraceCacheConfig] = None) -> None:
         self.config = config if config is not None else TraceCacheConfig()
         self._set_mask = self.config.num_sets - 1
         # set index -> {(start_pc, path_key): TraceSegment},
         # insertion order == LRU order.
-        self._sets = [dict() for _ in range(self.config.num_sets)]
+        self._sets: List[Dict[Tuple[int, tuple], TraceSegment]] = [
+            dict() for _ in range(self.config.num_sets)]
         self.stats = TraceCacheStats()
         #: optional telemetry event stream (set by the pipeline when a
-        #: Telemetry session is attached); evictions are reported here.
-        self.events = None
+        #: Telemetry session is attached); evictions are reported
+        #: here. [replay: presentational]
+        self.events: Optional[Any] = None
         #: optional span recorder (set by the engine when the session
-        #: traces spans); residency spans + reuse/evict instants land on
-        #: the "tracecache" track. None keeps lookup/insert branch-lean.
-        self.spans = None
-        # (start_pc, path_key) -> open tc.residency SpanHandle.
-        self._residency: dict = {}
+        #: traces spans); residency spans + reuse/evict instants land
+        #: on the "tracecache" track. None keeps lookup/insert
+        #: branch-lean. [replay: presentational]
+        self.spans: Optional[Any] = None
+        #: (start_pc, path_key) -> open tc.residency SpanHandle.
+        #: [replay: presentational]
+        self._residency: Dict[Tuple[int, tuple], Any] = {}
 
-    def _set_for(self, pc: int) -> dict:
+    def _set_for(self, pc: int) -> Dict[Tuple[int, tuple],
+                                        TraceSegment]:
         return self._sets[(pc >> 2) & self._set_mask]
 
     # ------------------------------------------------------------------
 
     def lookup(self, pc: int, now: int,
-               chooser: Optional[Callable] = None):
+               chooser: Optional[Callable] = None
+               ) -> Optional[TraceSegment]:
         """Return a segment starting at *pc* that is resident and
         already filled by cycle *now*, else ``None``.
 
@@ -120,7 +127,8 @@ class TraceCache:
                                start_pc=pc, instrs=len(segment.instrs))
         return segment
 
-    def probe(self, pc: int, path_key: tuple = None):
+    def probe(self, pc: int, path_key: Optional[tuple] = None
+              ) -> Optional[TraceSegment]:
         """Non-stats, non-LRU lookup.
 
         With *path_key*, the exact segment; without, any resident
@@ -185,7 +193,8 @@ class TraceCache:
                 "tracecache", "tc.residency", fill_cycle,
                 start_pc=segment.start_pc, instrs=len(segment.instrs))
 
-    def _end_residency(self, key, now: int) -> None:
+    def _end_residency(self, key: Tuple[int, tuple],
+                       now: int) -> None:
         """Close the open residency span for *key*, if any."""
         handle = self._residency.pop(key, None)
         if handle is not None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import SegmentError
 
@@ -46,16 +46,17 @@ class TraceSegment:
     """One trace cache line."""
 
     start_pc: int
-    instrs: list
-    branches: list = field(default_factory=list)
-    slots: list = field(default_factory=list)
+    instrs: List[Any]
+    branches: List[BranchInfo] = field(default_factory=list)
+    slots: List[int] = field(default_factory=list)
     block_count: int = 1
     fill_cycle: int = 0
-    deps: Optional[object] = None   # DependencyInfo, set by the fill unit
+    #: DependencyInfo, set by the fill unit
+    deps: Optional[Any] = None
     #: promotion state of the candidate's branches at build time, used
     #: by the fill unit's dedup (passes may remove branch records —
     #: e.g. predication — so the live list cannot be compared).
-    build_promo: tuple = ()
+    build_promo: Tuple[bool, ...] = ()
     #: process-unique identity for the timing memo: two visits share a
     #: memo key only if they hit the *same finalized segment object*
     #: (same instruction rewrites, slots, promotions). Assigned at
@@ -92,7 +93,7 @@ class TraceSegment:
             build_promo=self.build_promo)
 
     @property
-    def path_key(self) -> tuple:
+    def path_key(self) -> Tuple[int, ...]:
         """Identity of the embedded path: the PC sequence."""
         return tuple(instr.pc for instr in self.instrs)
 
@@ -140,7 +141,7 @@ class TraceSegment:
 
     # -- statistics helpers --------------------------------------------
 
-    def optimized_counts(self) -> dict:
+    def optimized_counts(self) -> Dict[str, int]:
         """Per-optimization transformed-instruction counts (Table 2)."""
         moves = sum(1 for i in self.instrs if i.move_flag)
         reassoc = sum(1 for i in self.instrs if i.reassociated)

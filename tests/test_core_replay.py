@@ -12,11 +12,15 @@ from repro.core.replay import (
     _COLD_MISSES,
     _COLD_MISSES_FAST,
     _COLD_RATIO,
+    _MIN_REPLAY_CONSUMED,
+    _PROBE_MAX,
     _PROBE_MIN,
+    _PRUNE_EVERY,
     TimingMemo,
     VisitRecord,
     _is_cold,
 )
+from repro.core.stages.base import FetchGroup, MachineState
 from repro.fillunit.opts.base import OptimizationConfig
 from repro.machine import run_program
 from repro.telemetry import Telemetry
@@ -149,3 +153,149 @@ def test_memo_capacity_bounds_entries():
     result = engine.run(trace, "li", "small-memo")
     assert len(engine.replay.memo) <= 16
     assert result.telemetry.get("engine.replay.invalidate", 0) > 0
+
+
+# -- freeze / probe / unfreeze transitions ------------------------------
+
+def _visit_harness():
+    """A fresh engine plus a fabricated single-segment visit: an empty
+    entry list keeps the key machinery trivial (no registers, no memory
+    ops) while still exercising the real ``on_group`` policy path."""
+    from repro.tracecache.segment import TraceSegment
+    engine = Engine(SimConfig.tiny(OptimizationConfig.all()))
+    # Move the bandwidth units off their reset-on-first-use idle band:
+    # captured post-digests must be in the exact form ``restore``
+    # installs (a real slow-path visit always renames/retires past the
+    # base, so real records never carry the idle token).
+    engine.rename_unit._cycle, engine.rename_unit._count = 5, 2
+    engine.retire_unit._cycle, engine.retire_unit._count = 5, 1
+    seg = TraceSegment(start_pc=0, instrs=[])
+    group = FetchGroup(entries=[], fetch_cycle=0,
+                       consumed=_MIN_REPLAY_CONSUMED, segment=seg)
+    state = MachineState(records=[], n=0, result=None,
+                         reg_ready=[(0, None)] * 32, group=group)
+    return engine, engine.replay, state, seg
+
+
+def test_cold_freeze_then_backed_off_probes():
+    """A segment that only ever misses is frozen after the fast
+    threshold, then re-keyed in probe pairs whose gap backs off
+    exponentially up to ``_PROBE_MAX``."""
+    ctl_engine, ctl, state, seg = _visit_harness()
+    # Phase 1: misses accumulate (captures discarded, so every keyed
+    # visit misses) until the fast cold threshold freezes the token.
+    for _ in range(_COLD_MISSES_FAST):
+        assert ctl.on_group(state) is False
+        assert ctl._pending is not None      # keyed: armed for capture
+        ctl._pending = None                  # discard -> stays a miss
+    stats = ctl._tok_stats[seg.memo_token]
+    assert stats == [0, _COLD_MISSES_FAST, 0, _PROBE_MIN]
+    assert _is_cold(stats)
+    # Phase 2: frozen. Visits below the probe gap are bypassed without
+    # building a key (no arm, no new miss).
+    for visit in range(1, _PROBE_MIN):
+        assert ctl.on_group(state) is False
+        assert ctl._pending is None          # frozen: never keyed
+        assert stats[1] == _COLD_MISSES_FAST
+        assert stats[2] == visit
+    # Phase 3: the probe pair — two consecutive keyed visits. Both
+    # miss, so the gap doubles once (per pair, not per visit).
+    for _ in range(2):
+        assert ctl.on_group(state) is False
+        assert ctl._pending is not None
+        ctl._pending = None
+    assert stats[3] == _PROBE_MIN * 2
+    assert stats[1] == _COLD_MISSES_FAST + 2
+    # Phase 4: back-off continues pair by pair until _PROBE_MAX, then
+    # saturates there.
+    gap = _PROBE_MIN * 2
+    while gap < _PROBE_MAX:
+        for _ in range(gap - 1):             # bypassed cold visits
+            assert ctl.on_group(state) is False
+            assert ctl._pending is None
+        for _ in range(2):                   # the keyed probe pair
+            assert ctl.on_group(state) is False
+            ctl._pending = None
+        gap *= 2
+        assert stats[3] == gap
+    for _ in range(_PROBE_MAX - 1):
+        ctl.on_group(state)
+    for _ in range(2):
+        ctl.on_group(state)
+        ctl._pending = None
+    assert stats[3] == _PROBE_MAX            # saturated, not doubled
+
+
+def test_probe_hit_unfreezes_frozen_segment():
+    """A probe pair whose first visit is captured makes the second
+    visit a memo hit, which rewarms the token to a fresh warm state
+    (one hit, zero misses, probe gap reset to the minimum)."""
+    ctl_engine, ctl, state, seg = _visit_harness()
+    for _ in range(_COLD_MISSES_FAST):       # freeze
+        ctl.on_group(state)
+        ctl._pending = None
+    stats = ctl._tok_stats[seg.memo_token]
+    assert _is_cold(stats)
+    for _ in range(_PROBE_MIN - 1):          # ride out the gap
+        assert ctl.on_group(state) is False
+    # First probe visit: keyed miss; this time *capture* it.
+    assert ctl.on_group(state) is False
+    assert ctl._pending is not None
+    ctl.after_group(state)
+    assert len(ctl.memo) == 1
+    # Second probe visit: identical context -> memo hit -> replayed.
+    assert ctl.on_group(state) is True
+    assert stats == [1, 0, 0, _PROBE_MIN]
+    assert not _is_cold(stats)
+
+
+# -- amortized pruning --------------------------------------------------
+
+def test_on_group_prunes_every_16_groups():
+    """The controller's maintenance prune runs once per
+    ``_PRUNE_EVERY`` groups, on the replay path itself."""
+    ctl_engine, ctl, state, _seg = _visit_harness()
+    calls = []
+    orig = ctl_engine.fus.prune_below
+    ctl_engine.fus.prune_below = \
+        lambda cycle: (calls.append(cycle), orig(cycle))[1]
+    for _ in range(3 * _PRUNE_EVERY):
+        ctl.on_group(state)
+        ctl._pending = None
+    assert len(calls) == 3
+
+
+def test_pruning_is_digest_invariant_on_warm_engine():
+    """``prune_below``/``prune_stale`` at a group's base must not
+    change any context digest taken at that base — the invariant the
+    every-16-group amortized prune rests on."""
+    trace = run_program(workloads.build("li", scale=0.2))
+    config = dataclasses.replace(SimConfig.tiny(OptimizationConfig.all()),
+                                 memo_capacity=8)
+    engine = Engine(config)
+    result = engine.run(trace, "li", "prune-invariance")
+    assert len(engine.replay.memo) <= 8
+    base = result.cycles + 4
+    words = tuple(sorted(engine.memsched._forward))[:4]
+    before = (engine.fus.context_digest(base),
+              engine.rs.context_digest(base),
+              engine.memsched.context_digest(base, words))
+    engine.fus.prune_below(base + 2)
+    engine.memsched.prune_stale(base)
+    after = (engine.fus.context_digest(base),
+             engine.rs.context_digest(base),
+             engine.memsched.context_digest(base, words))
+    assert before == after
+
+
+def test_small_memo_capacity_stays_bit_for_bit():
+    """FIFO eviction under a tiny memo changes which visits replay,
+    never the simulated timing: cycles and counters match memo-off."""
+    trace = run_program(workloads.build("li", scale=0.2))
+    base_cfg = SimConfig.tiny(OptimizationConfig.all())
+    small = dataclasses.replace(base_cfg, memo_capacity=8)
+    off = dataclasses.replace(base_cfg, timing_memo=False)
+    r_small = Engine(small).run(trace, "li", "small")
+    r_off = Engine(off).run(trace, "li", "off")
+    assert r_small.cycles == r_off.cycles
+    assert r_small.instructions == r_off.instructions

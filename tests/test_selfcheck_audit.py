@@ -1,0 +1,133 @@
+"""Full self-audit: mutation-fuzz oracle, baseline gate, CLI verb,
+schema-versioned export."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.selfcheck import run_self_audit
+from repro.cli import main
+from repro.core.export import (
+    SELFAUDIT_SCHEMA_VERSION,
+    selfaudit_from_dict,
+    selfaudit_to_dict,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "tools" / \
+    "selfaudit_baseline.json"
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_self_audit(with_fuzz=True)
+
+
+# -- the audit itself ---------------------------------------------------
+
+def test_audit_is_clean(report):
+    assert report.errors() == []
+    assert report.warnings() == []
+    assert report.uncaught_static_holes() == []
+
+
+def test_fuzz_oracle_observes_every_modeled_field(report):
+    fuzz = report.fuzz
+    assert fuzz is not None
+    assert fuzz.blind_fields() == []
+    assert fuzz.uncaught_holes() == []
+    assert fuzz.gaps == []
+    assert fuzz.ok()
+    # Both directions exercised: live probes and seeded hole mutants.
+    assert fuzz.results and fuzz.holes
+    assert fuzz.warm_cycles > 0
+
+
+def test_every_hole_is_caught_by_both_layers(report):
+    """The acceptance bar: each seeded hole mutant trips the static
+    lint AND (for the dynamically seeded ones) the fuzz oracle."""
+    assert report.static_holes
+    assert all(h.caught for h in report.static_holes)
+    assert all(h.caught for h in report.fuzz.holes)
+
+
+def test_report_matches_checked_in_baseline(report):
+    baseline = json.loads(BASELINE.read_text())
+    assert report.failures(baseline) == []
+    assert report.baseline_payload()["coverage"] == \
+        baseline["coverage"]
+
+
+def test_loosened_coverage_fails_the_gate(report):
+    baseline = copy.deepcopy(report.baseline_payload())
+    baseline["coverage"]["FunctionalUnits"].append("_phantom_cover")
+    failures = report.failures(baseline)
+    assert any("loosened coverage" in f and "_phantom_cover" in f
+               for f in failures)
+
+
+def test_new_findings_fail_without_baseline_allowance(report):
+    from repro.analysis.selfcheck import SEV_WARNING, AuditFinding
+    poked = copy.deepcopy(report)
+    poked.findings.append(AuditFinding(
+        rule="dict-iteration", severity=SEV_WARNING,
+        component="Fake", attr="x", location="fake.py:1",
+        message="synthetic"))
+    assert poked.failures(json.loads(BASELINE.read_text()))
+    # A baseline that allows one such warning absorbs it.
+    allowing = poked.baseline_payload()
+    assert poked.failures(allowing) == []
+
+
+# -- export -------------------------------------------------------------
+
+def test_selfaudit_export_round_trip(report):
+    payload = json.loads(json.dumps(selfaudit_to_dict(report)))
+    assert payload["schema"] == SELFAUDIT_SCHEMA_VERSION
+    assert payload["derived"]["errors"] == 0
+    assert payload["derived"]["fuzz_ok"] is True
+    rebuilt = selfaudit_from_dict(payload)
+    again = json.loads(json.dumps(selfaudit_to_dict(rebuilt)))
+    assert again == payload
+
+
+def test_selfaudit_export_rejects_unknown_schema(report):
+    payload = selfaudit_to_dict(report)
+    payload["schema"] = 999
+    with pytest.raises(ValueError):
+        selfaudit_from_dict(payload)
+
+
+# -- CLI verb -----------------------------------------------------------
+
+def test_cli_audit_passes_against_baseline(tmp_path, capsys):
+    out = tmp_path / "selfaudit.json"
+    code = main(["audit", "--no-fuzz",
+                 "--baseline", str(BASELINE),
+                 "--json", str(out)])
+    assert code == 0
+    assert "self-audit passed" in capsys.readouterr().out
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == SELFAUDIT_SCHEMA_VERSION
+    assert payload["derived"]["errors"] == 0
+
+
+def test_cli_audit_write_then_gate_round_trip(tmp_path):
+    base = tmp_path / "baseline.json"
+    assert main(["audit", "--no-fuzz",
+                 "--write-baseline", str(base)]) == 0
+    written = json.loads(base.read_text())
+    assert written == json.loads(BASELINE.read_text())
+    assert main(["audit", "--no-fuzz",
+                 "--baseline", str(base)]) == 0
+
+
+def test_cli_analyze_self_delegates_to_audit(capsys):
+    code = main(["analyze", "--self"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replay-soundness self-audit" in out
+    assert "0 error(s)" in out

@@ -1,0 +1,151 @@
+"""Static layer of the replay-soundness self-audit: state-model
+extraction, digest-coverage lint, determinism lint, seeded holes."""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.analysis.selfcheck import (
+    DIGEST_SURFACES,
+    MACHINE_STATE,
+    all_surfaces,
+    extract_attr_cells,
+    extract_component,
+    extract_state_model,
+    run_coverage,
+    run_determinism,
+    scan_class_iteration,
+    scan_module_hazards,
+    seed_static_holes,
+)
+from repro.analysis.selfcheck.report import PHANTOM_FIELD
+
+
+def _spec(cls):
+    return next(s for s in DIGEST_SURFACES if s.cls == cls)
+
+
+# -- extraction ---------------------------------------------------------
+
+def test_extracts_functional_units_digest_surface():
+    cm = extract_component(_spec("FunctionalUnits"))
+    assert "_busy" in cm.fields
+    assert cm.fields["_busy"].classification == "timing"
+    assert set(cm.covered_timing_fields()) >= {"_busy", "_floor"}
+    # reserve() mutates both; the closure ties mutation to the step
+    # path, not to __init__.
+    assert "reserve" in cm.fields["_busy"].step_mutators
+
+
+def test_hint_comment_drives_counter_classification():
+    cm = extract_component(_spec("BypassNetwork"))
+    field = cm.fields["crossings"]
+    assert field.hint == "counter"
+    assert field.classification == "counter"
+
+
+def test_memory_scheduler_counters_and_timing_split():
+    cm = extract_component(_spec("MemoryScheduler"))
+    for name in ("loads", "stores", "forwarded_loads", "blocked_loads"):
+        assert cm.fields[name].classification == "counter"
+    assert "_forward" in cm.covered_timing_fields()
+
+
+def test_attr_cells_statically_resolved():
+    cells = extract_attr_cells()
+    assert len(cells) == 13
+    assert "memsched.loads" in cells
+    assert "bypass.crossings" in cells
+    assert "hierarchy.l1d.stats.accesses" in cells
+    assert "hierarchy.l2.stats.hits" in cells
+    # The L1I runs live on both paths, so its counters must *not* be
+    # delta cells.
+    assert not any(cell.startswith("hierarchy.l1i") for cell in cells)
+
+
+def test_state_model_maps_mutations_to_stages():
+    sm = extract_state_model(MACHINE_STATE)
+    assert "reg_ready" in sm.declared
+    assert "retire_cycles" in sm.mutations
+    assert any("fetch" in site for site in sm.mutations["fetch_ready"])
+
+
+# -- coverage lint ------------------------------------------------------
+
+def test_current_tree_has_no_coverage_findings():
+    models = [extract_component(s) for s in all_surfaces()]
+    findings = run_coverage(models, extract_state_model(MACHINE_STATE),
+                            extract_attr_cells())
+    assert findings == []
+
+
+def test_seeded_static_holes_all_caught():
+    """Every digest-covered timing field, when dropped from its
+    readers, must produce a digest-hole error — and so must a phantom
+    mutated field added outside the model."""
+    models = [extract_component(s) for s in all_surfaces()]
+    holes = seed_static_holes(models, extract_attr_cells())
+    assert holes, "no digest surfaces seeded"
+    assert all(h.caught for h in holes)
+    assert any(h.field == PHANTOM_FIELD for h in holes)
+
+
+# -- determinism lint ---------------------------------------------------
+
+def test_current_tree_has_no_determinism_findings():
+    assert run_determinism() == []
+
+
+HAZARD_SRC = '''\
+import random
+import time
+
+
+def pick(vals):
+    random.shuffle(vals)
+    return id(vals)
+'''
+
+ITER_SRC = '''\
+class Foo:
+    def __init__(self) -> None:
+        self._bag = {1, 2}
+        self._map = {1: 2}
+
+    def digest(self):
+        safe = sum(v for v in self._bag)
+        out = []
+        for item in self._bag:
+            out.append(item)
+        for key in self._map:
+            out.append(key)
+        return safe, tuple(sorted(self._bag)), tuple(out)
+'''
+
+
+def _plant(tmp_path, monkeypatch, name, src):
+    (tmp_path / f"{name}.py").write_text(src)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    importlib.invalidate_caches()
+
+
+def test_module_hazards_flag_imports_and_id(tmp_path, monkeypatch):
+    _plant(tmp_path, monkeypatch, "sc_hazmod", HAZARD_SRC)
+    rules = {f.rule for f in scan_module_hazards("sc_hazmod")}
+    assert "nondeterministic-import" in rules
+    assert "id-call" in rules
+
+
+def test_iteration_scan_separates_safe_and_hazardous(tmp_path,
+                                                     monkeypatch):
+    _plant(tmp_path, monkeypatch, "sc_itermod", ITER_SRC)
+    findings = scan_class_iteration("sc_itermod", "Foo", ("digest",))
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule, []).append(f)
+    # The bare set loop is an error; the dict loop a warning; the
+    # sum()-wrapped and sorted()-wrapped reads are order-insensitive
+    # and must not be flagged.
+    assert len(by_rule.pop("unordered-iteration")) == 1
+    assert len(by_rule.pop("dict-iteration")) == 1
+    assert by_rule == {}
