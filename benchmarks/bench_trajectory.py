@@ -1,4 +1,4 @@
-"""Perf-trajectory regression guard over the checked-in BENCH_8.json.
+"""Perf-trajectory regression guard over the checked-in BENCH_10.json.
 
 Re-measures the anchor benchmarks with ``tools/bench_trajectory.py``
 and holds the current build to the checked-in trajectory file:
@@ -23,7 +23,7 @@ import os
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-BASELINE = REPO_ROOT / "BENCH_8.json"
+BASELINE = REPO_ROOT / "BENCH_10.json"
 
 #: replay fields that are deterministic run to run (wall-derived
 #: fields and the sampled byte estimate are excluded).
@@ -46,7 +46,7 @@ def test_trajectory_against_baseline():
         assert now["cycles"] == base["cycles"], (
             f"{name}: cycles drifted {base['cycles']} -> "
             f"{now['cycles']}; simulated time must be deterministic "
-            f"(refresh BENCH_8.json only for deliberate model changes)")
+            f"(refresh BENCH_10.json only for deliberate model changes)")
         assert now["instructions"] == base["instructions"]
         assert now["reuse"] == base["reuse"], (
             f"{name}: segment-reuse profile drifted: "
@@ -64,6 +64,18 @@ def test_trajectory_against_baseline():
                     f" (bypass policy and keying are deterministic)")
             assert now["replay"]["hit_rate"] > 0, (
                 f"{name}: timing memo never hit")
+        if "policies" in base:
+            for policy, leg in base["policies"].items():
+                got = now["policies"][policy]
+                assert got["cycles"] == leg["cycles"], (
+                    f"{name}/{policy}: cycles drifted "
+                    f"{leg['cycles']} -> {got['cycles']}")
+                assert got == leg, (
+                    f"{name}/{policy}: reuse profile drifted "
+                    f"{leg} -> {got}")
+            assert (now["policies"]["lru"]["cycles"]
+                    == now["cycles"]), (
+                f"{name}: lru leg diverged from the main run")
 
     if os.environ.get("REPRO_BENCH_GATE"):
         failures = _tool.check_against(current, baseline)

@@ -134,6 +134,10 @@ def _cache_digest(c: Any, base: int) -> Any:
     return tuple(c.set_digest(i) for i in range(c.num_sets))
 
 
+def _policy_digest(c: Any, base: int) -> Any:
+    return tuple(c.state_digest(i) for i in range(c.num_sets))
+
+
 def _memsched_digest(c: Any, base: int) -> Any:
     return c.context_digest(base, (PROBE_WORD,))
 
@@ -253,6 +257,38 @@ def build_plans() -> Tuple[ClassPlan, ...]:
                          "_selfcheck_phantom", project=None),
             )),
         ClassPlan(
+            cls="SRRIPPolicy", engine_path="hierarchy.l1d.policy",
+            digest=_policy_digest,
+            probes=(
+                FieldProbe("_meta",
+                           lambda c, b: _set_key(
+                               c._meta[0], 0xDEADBEEF, 1)),
+            ),
+            holes=(
+                HoleSpec("drop set 0 from the SRRIP metadata digest",
+                         "_meta", project=lambda d: d[1:]),
+            )),
+        ClassPlan(
+            cls="TRRIPPolicy", engine_path="trace_cache.policy",
+            digest=_policy_digest,
+            probes=(
+                FieldProbe("_meta",
+                           lambda c, b: _set_key(
+                               c._meta[0], (0xDEAD, ()), 1)),
+                FieldProbe("_reuse",
+                           lambda c, b: _set_key(
+                               c._reuse[0], (0xDEAD, ()), 2)),
+                FieldProbe("_history",
+                           lambda c, b: _set_key(
+                               c._history[0], (0xDEAD, ()), 2)),
+            ),
+            holes=(
+                HoleSpec("drop the reuse history from the TRRIP "
+                         "digest",
+                         "_history",
+                         project=lambda d: tuple(s[:2] for s in d)),
+            )),
+        ClassPlan(
             cls="BypassNetwork", engine_path="bypass",
             digest=lambda c, b: (), probes=()),
     )
@@ -275,17 +311,29 @@ def _resolve(obj: Any, path: str) -> Any:
 def warm_engine() -> Tuple[Any, int]:
     """A small engine warmed on the reference workload; returns the
     engine and the observability base (past every live cycle)."""
+    import dataclasses
+
     from repro import workloads
     from repro.core.config import SimConfig
     from repro.core.engine import Engine
     from repro.fillunit.opts.base import OptimizationConfig
     from repro.machine import run_program
 
-    trace = run_program(workloads.build(WARM_WORKLOAD,
-                                        scale=WARM_SCALE))
-    engine = Engine(SimConfig.tiny(OptimizationConfig.all()))
+    program = workloads.build(WARM_WORKLOAD, scale=WARM_SCALE)
+    trace = run_program(program)
+    config = SimConfig.tiny(OptimizationConfig.all())
+    # Warm the stateful replacement policies, not the default LRU:
+    # SRRIP in the hierarchy, TRRIP on the trace cache, so the fuzz
+    # probes exercise real policy metadata on their engine paths.
+    config = dataclasses.replace(
+        config,
+        hierarchy=dataclasses.replace(config.hierarchy,
+                                      policy="srrip"),
+        trace_cache=dataclasses.replace(config.trace_cache,
+                                        policy="trrip"))
+    engine = Engine(config)
     result = engine.run(trace, benchmark=WARM_WORKLOAD,
-                        label="selfcheck-fuzz")
+                        label="selfcheck-fuzz", program=program)
     return engine, int(result.cycles) + 4
 
 

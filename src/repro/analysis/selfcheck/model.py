@@ -178,7 +178,31 @@ DIGEST_SURFACES: Tuple[ComponentSpec, ...] = (
         restore_methods=("restore_set",),
         engine_paths=("hierarchy.l1i", "hierarchy.l1d",
                       "hierarchy.l2"),
-        counters=("stats.accesses", "stats.hits"),
+        counters=("stats.accesses", "stats.hits",
+                  "stats.evictions"),
+        delta_paths=("hierarchy.l1d", "hierarchy.l2")),
+    # Replacement-policy metadata is timing state: it decides future
+    # victims, so it rides inside the owning cache's set_digest /
+    # restore_set (the containers splice state_digest/restore in).
+    # TrueLRU is stateless — the container's tag order *is* its state
+    # — and needs no spec of its own.
+    ComponentSpec(
+        module="repro.cache.policy", cls="SRRIPPolicy",
+        role=ROLE_DIGEST,
+        step_methods=("on_insert", "on_hit", "victim", "on_evict"),
+        key_methods=("state_digest",),
+        restore_methods=("restore",),
+        engine_paths=("hierarchy.l1i.policy", "hierarchy.l1d.policy",
+                      "hierarchy.l2.policy"),
+        delta_paths=("hierarchy.l1d", "hierarchy.l2")),
+    ComponentSpec(
+        module="repro.cache.policy", cls="TRRIPPolicy",
+        role=ROLE_DIGEST,
+        step_methods=("on_insert", "on_hit", "victim", "on_evict"),
+        key_methods=("state_digest",),
+        restore_methods=("restore",),
+        engine_paths=("hierarchy.l1i.policy", "hierarchy.l1d.policy",
+                      "hierarchy.l2.policy", "trace_cache.policy"),
         delta_paths=("hierarchy.l1d", "hierarchy.l2")),
 )
 
@@ -257,6 +281,7 @@ REPLAY_KEY_FUNCTIONS: Tuple[str, ...] = (
 DETERMINISM_MODULES: Tuple[str, ...] = (
     "repro.core.replay", "repro.core.clusters", "repro.core.rename",
     "repro.core.memsched", "repro.cache.setassoc",
+    "repro.cache.policy", "repro.cache.hints",
     "repro.cache.hierarchy", "repro.core.engine",
     "repro.core.stages.base", "repro.core.stages.fetch",
     "repro.core.stages.rename", "repro.core.stages.issue",

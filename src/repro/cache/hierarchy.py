@@ -16,12 +16,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.cache.policy import POLICY_NAMES
 from repro.cache.setassoc import SetAssocCache
+from repro.errors import ConfigError
 
 
 @dataclass
 class HierarchyConfig:
-    """Sizes and latencies for the cache hierarchy."""
+    """Sizes, latencies and replacement policy for the hierarchy."""
 
     l1i_size: int = 4 * 1024
     l1i_assoc: int = 4
@@ -34,6 +36,14 @@ class HierarchyConfig:
     l2_line: int = 64
     l2_latency: int = 6
     memory_latency: int = 50
+    #: replacement policy for all three caches (see repro.cache.policy).
+    policy: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"unknown hierarchy replacement policy {self.policy!r}; "
+                f"expected one of {', '.join(POLICY_NAMES)}")
 
 
 class MemoryHierarchy:
@@ -43,11 +53,11 @@ class MemoryHierarchy:
         self.config = config if config is not None else HierarchyConfig()
         cfg = self.config
         self.l1i = SetAssocCache(cfg.l1i_size, cfg.l1i_assoc, cfg.l1i_line,
-                                 "L1I")
+                                 "L1I", cfg.policy)
         self.l1d = SetAssocCache(cfg.l1d_size, cfg.l1d_assoc, cfg.l1d_line,
-                                 "L1D")
+                                 "L1D", cfg.policy)
         self.l2 = SetAssocCache(cfg.l2_size, cfg.l2_assoc, cfg.l2_line,
-                                "L2")
+                                "L2", cfg.policy)
 
     # ------------------------------------------------------------------
 

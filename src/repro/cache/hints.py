@@ -1,0 +1,78 @@
+"""Static temperature hints for TRRIP-style replacement.
+
+"Decanting the Contribution of Instruction Types and Loop Structures
+in the Reuse of Traces" characterizes trace reuse along two static
+axes: loop structure (traces inside loops get reused; straight-line
+glue does not) and instruction mix (compute-dense loop bodies re-enter
+the trace cache far more often than branchy or call-heavy regions).
+This module joins both — natural-loop membership/nesting depth from
+:mod:`repro.analysis.static.cfg` with the per-block instruction-type
+mix — into a per-pc temperature map the engine installs into a
+:class:`~repro.cache.policy.TRRIPPolicy` before a run.
+
+The classification is deliberately coarse (the dynamic reuse history
+overrides it per key as soon as real evidence exists):
+
+* nesting depth >= 2 — hot: inner-loop bodies re-reference almost
+  immediately;
+* depth 1 — hot when the block is compute-dense (conditional branches
+  are no more than a quarter of the block), warm otherwise: branchy
+  loop bodies split into many paths that compete for the same set;
+* depth 0 — cold: straight-line code rarely sees its trace again
+  before eviction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.static.cfg import ControlFlowGraph, build_cfg
+from repro.cache.policy import TEMP_COLD, TEMP_HOT, TEMP_WARM
+
+#: Depth-1 blocks hotter than this branch fraction stay warm.
+_BRANCHY_FRACTION = 0.25
+
+
+def loop_depths(cfg: ControlFlowGraph) -> Dict[int, int]:
+    """Loop nesting depth per block index (0 = not in any loop)."""
+    depths: Dict[int, int] = {}
+    for loop in cfg.natural_loops():
+        for block_index in loop.body:
+            depths[block_index] = depths.get(block_index, 0) + 1
+    return depths
+
+
+def pc_loop_depths(program: object) -> Dict[int, int]:
+    """Loop nesting depth per instruction address (0 when loop-free)."""
+    cfg = build_cfg(program)
+    by_block = loop_depths(cfg)
+    out: Dict[int, int] = {}
+    for block in cfg.blocks:
+        depth = by_block.get(block.index, 0)
+        for instr in block.instrs:
+            out[instr.pc or 0] = depth
+    return out
+
+
+def static_temperature_hints(program: object) -> Dict[int, int]:
+    """pc -> TEMP_{COLD,WARM,HOT} for every instruction address."""
+    cfg = build_cfg(program)
+    by_block = loop_depths(cfg)
+    hints: Dict[int, int] = {}
+    for block in cfg.blocks:
+        depth = by_block.get(block.index, 0)
+        if depth >= 2:
+            temp = TEMP_HOT
+        elif depth == 1:
+            branches = sum(1 for i in block.instrs
+                           if i.is_cond_branch())
+            dense = branches <= _BRANCHY_FRACTION * len(block.instrs)
+            temp = TEMP_HOT if dense else TEMP_WARM
+        else:
+            temp = TEMP_COLD
+        for instr in block.instrs:
+            hints[instr.pc or 0] = temp
+    return hints
+
+
+__all__ = ["loop_depths", "pc_loop_depths", "static_temperature_hints"]

@@ -1,16 +1,22 @@
-"""Generic set-associative cache with true-LRU replacement.
+"""Generic set-associative cache with pluggable replacement.
 
 This is a *presence* model: it tracks which lines are resident (for hit
 and miss accounting and latency), not their contents — data values come
 from the functional memory. That is exactly what a trace-driven timing
 simulator needs from its caches.
+
+Replacement is delegated to a :class:`~repro.cache.policy.
+ReplacementPolicy`; the default ``"lru"`` policy reproduces the seed
+behaviour bit for bit (victim = oldest entry of the insertion-ordered
+set dict).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, List, Tuple
 
+from repro.cache.policy import ReplacementPolicy, make_policy
 from repro.errors import ConfigError
 
 
@@ -20,10 +26,11 @@ def _is_pow2(value: int) -> bool:
 
 @dataclass
 class CacheStats:
-    """Hit and miss counters."""
+    """Hit, miss and eviction counters."""
 
     accesses: int = 0
     hits: int = 0
+    evictions: int = 0
 
     @property
     def misses(self) -> int:
@@ -36,17 +43,20 @@ class CacheStats:
     def reset(self) -> None:
         self.accesses = 0
         self.hits = 0
+        self.evictions = 0
 
 
 class SetAssocCache:
     """A set-associative cache keyed by byte address.
 
-    LRU is maintained per set via insertion-ordered dicts (move-to-end
-    on hit), which is both exact and fast in CPython.
+    Recency is maintained per set via insertion-ordered dicts
+    (move-to-end on hit), which is both exact and fast in CPython; the
+    replacement policy picks victims on top of that order and may keep
+    metadata of its own (digested alongside the tags for replay).
     """
 
     def __init__(self, size_bytes: int, assoc: int, line_size: int,
-                 name: str = "cache") -> None:
+                 name: str = "cache", policy: str = "lru") -> None:
         if not (_is_pow2(line_size) and _is_pow2(assoc)):
             raise ConfigError(f"{name}: line size and associativity must "
                               f"be powers of two")
@@ -63,9 +73,12 @@ class SetAssocCache:
                               f"must be a power of two")
         self._line_shift = line_size.bit_length() - 1
         self._set_mask = self.num_sets - 1
-        # set index -> {tag: None}, insertion order == LRU order.
+        # set index -> {tag: None}, insertion order == recency order.
         self._sets: List[Dict[int, None]] = [
             dict() for _ in range(self.num_sets)]
+        #: victim selection + replay-digested metadata; its per-set
+        #: state rides in set_digest/restore_set next to the tags.
+        self.policy: ReplacementPolicy = make_policy(policy, self.num_sets)
         #: hit/access counters; delta-captured per instance by
         #: the replay controller's attribute cells (the L1I runs
         #: live on both paths and is deliberately uncaptured)
@@ -73,51 +86,68 @@ class SetAssocCache:
 
     # ------------------------------------------------------------------
 
-    def _locate(self, addr: int) -> Tuple[Dict[int, None], int]:
+    def _locate(self, addr: int) -> Tuple[Dict[int, None], int, int]:
         line = addr >> self._line_shift
-        return self._sets[line & self._set_mask], line
+        index = line & self._set_mask
+        return self._sets[index], line, index
 
     def probe(self, addr: int) -> bool:
-        """Non-allocating lookup; does not update LRU or stats."""
-        entries, tag = self._locate(addr)
+        """Non-allocating lookup; does not update recency or stats."""
+        entries, tag, _ = self._locate(addr)
         return tag in entries
 
     def access(self, addr: int) -> bool:
         """Reference *addr*: returns hit/miss, allocating on miss.
 
         On a miss the line is filled (the latency of doing so is the
-        caller's concern) and the LRU victim in the set is evicted.
+        caller's concern) and the policy's victim in the set is
+        evicted.
         """
-        entries, tag = self._locate(addr)
+        entries, tag, index = self._locate(addr)
         self.stats.accesses += 1
         if tag in entries:
             self.stats.hits += 1
             entries[tag] = entries.pop(tag)  # move to MRU position
+            self.policy.on_hit(index, tag)
             return True
         if len(entries) >= self.assoc:
-            entries.pop(next(iter(entries)))  # evict LRU
+            victim = self.policy.victim(index, entries)
+            entries.pop(victim)
+            self.policy.on_evict(index, victim)
+            self.stats.evictions += 1
         entries[tag] = None
+        self.policy.on_insert(index, tag)
         return False
 
     def fill(self, addr: int) -> None:
         """Install the line containing *addr* without counting an access."""
-        entries, tag = self._locate(addr)
+        entries, tag, index = self._locate(addr)
         if tag in entries:
             entries[tag] = entries.pop(tag)
+            self.policy.on_hit(index, tag)
             return
         if len(entries) >= self.assoc:
-            entries.pop(next(iter(entries)))
+            victim = self.policy.victim(index, entries)
+            entries.pop(victim)
+            self.policy.on_evict(index, victim)
+            self.stats.evictions += 1
         entries[tag] = None
+        self.policy.on_insert(index, tag)
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing *addr*; returns whether it was present."""
-        entries, tag = self._locate(addr)
-        return entries.pop(tag, "absent") != "absent"
+        entries, tag, index = self._locate(addr)
+        if tag not in entries:
+            return False
+        entries.pop(tag)
+        self.policy.on_evict(index, tag)
+        return True
 
     def flush(self) -> None:
         """Empty the cache (stats retained)."""
         for entries in self._sets:
             entries.clear()
+        self.policy.on_flush()
 
     def resident_lines(self) -> int:
         return sum(len(entries) for entries in self._sets)
@@ -128,26 +158,31 @@ class SetAssocCache:
         """Index of the set that *addr* maps to."""
         return (addr >> self._line_shift) & self._set_mask
 
-    def set_digest(self, index: int) -> Tuple[int, ...]:
-        """LRU-ordered resident tags of set *index* (oldest first).
+    def set_digest(self, index: int) -> Tuple[Tuple[int, ...], tuple]:
+        """Recency-ordered resident tags of set *index* (oldest first)
+        plus the replacement policy's metadata snapshot for the set.
 
         Tags are absolute (address-derived), not cycle-relative: cache
         residency transitions depend only on the reference sequence,
         never on cycle numbers, so the digest is position-independent
         and doubles as the post-visit snapshot for
         :meth:`restore_set`."""
-        return tuple(self._sets[index])
+        return tuple(self._sets[index]), self.policy.state_digest(index)
 
-    def restore_set(self, index: int, tags: Iterable[int]) -> None:
+    def restore_set(self, index: int,
+                    digest: Tuple[Tuple[int, ...], tuple]) -> None:
         """Install a :meth:`set_digest` snapshot into set *index*."""
+        tags, policy_state = digest
         entries = self._sets[index]
         entries.clear()
         for tag in tags:
             entries[tag] = None
+        self.policy.restore(index, policy_state)
 
     def __repr__(self) -> str:
         return (f"SetAssocCache({self.name}: {self.size_bytes}B, "
-                f"{self.assoc}-way, {self.line_size}B lines)")
+                f"{self.assoc}-way, {self.line_size}B lines, "
+                f"{self.policy.name})")
 
 
 __all__ = ["SetAssocCache", "CacheStats"]

@@ -60,6 +60,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fill-unit optimization set (default all)")
     parser.add_argument("--fill-latency", type=int, default=5,
                         help="fill pipeline latency in cycles (default 5)")
+    parser.add_argument(
+        "--policy", default="lru",
+        choices=["lru", "srrip", "trrip"],
+        help="replacement policy for the trace cache and memory "
+             "hierarchy (default lru; trrip adds loop-aware static "
+             "temperature hints)")
+
+
+def _apply_policy(config: SimConfig, args) -> SimConfig:
+    """Apply the ``--policy`` knob to a built config (no-op for lru,
+    the seed-identical default)."""
+    policy = getattr(args, "policy", "lru")
+    if policy == "lru":
+        return config
+    from dataclasses import replace
+    return replace(
+        config,
+        trace_cache=replace(config.trace_cache, policy=policy),
+        hierarchy=replace(config.hierarchy, policy=policy))
 
 
 def _add_exec(parser: argparse.ArgumentParser) -> None:
@@ -112,7 +131,8 @@ def cmd_list(args) -> int:
 
 def cmd_run(args) -> int:
     program = workloads.build(args.benchmark, args.scale)
-    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    config = _apply_policy(
+        SimConfig.paper(_opt_config(args.opts), args.fill_latency), args)
     telemetry = sink = None
     if args.telemetry_out:
         telemetry, sink = _make_telemetry(args)
@@ -132,7 +152,8 @@ def cmd_run(args) -> int:
 def cmd_profile(args) -> int:
     from repro.telemetry.attribution import render_attribution
     program = workloads.build(args.benchmark, args.scale)
-    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    config = _apply_policy(
+        SimConfig.paper(_opt_config(args.opts), args.fill_latency), args)
     telemetry, sink = _make_telemetry(args)
     result = Simulator(config, telemetry=telemetry).run(
         program, args.benchmark, args.opts)
@@ -163,7 +184,8 @@ def cmd_trace(args) -> int:
     from repro.telemetry.hostprof import HostProfiler
 
     program = workloads.build(args.benchmark, args.scale)
-    config = SimConfig.paper(_opt_config(args.opts), args.fill_latency)
+    config = _apply_policy(
+        SimConfig.paper(_opt_config(args.opts), args.fill_latency), args)
     if args.verify:
         from dataclasses import replace
         config = replace(config, verify_fill=True)
@@ -225,8 +247,10 @@ def cmd_compare(args) -> int:
         telemetry.attach(JsonlSink(handle))
         return telemetry
 
-    simulator = Simulator(SimConfig.paper(fill_latency=args.fill_latency),
-                          telemetry=leg_telemetry())
+    simulator = Simulator(
+        _apply_policy(SimConfig.paper(fill_latency=args.fill_latency),
+                      args),
+        telemetry=leg_telemetry())
     trace = simulator.trace_program(program)
     baseline = simulator.run(trace, args.benchmark, "baseline")
     print(baseline.summary())
@@ -234,7 +258,8 @@ def cmd_compare(args) -> int:
     if args.extended:
         sets += ["cse", "dead_code", "extended"]
     for name in sets:
-        config = SimConfig.paper(_opt_config(name), args.fill_latency)
+        config = _apply_policy(
+            SimConfig.paper(_opt_config(name), args.fill_latency), args)
         result = Simulator(config, telemetry=leg_telemetry()).run(
             trace, args.benchmark, name)
         print(f"  {name:12s} IPC {result.ipc:5.2f}  "
@@ -671,6 +696,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--fill-latency", type=int, default=5)
     p_cmp.add_argument("--extended", action="store_true",
                        help="also run the future-work passes")
+    p_cmp.add_argument("--policy", default="lru",
+                       choices=["lru", "srrip", "trrip"],
+                       help="replacement policy for every leg "
+                            "(default lru)")
     _add_telemetry_out(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 

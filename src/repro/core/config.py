@@ -88,6 +88,14 @@ class SimConfig:
     #: re-simulate every Nth replay hit through the slow path and
     #: assert bit-for-bit equality with the memo (0 disables shadowing)
     replay_shadow_every: int = 0
+    #: run-level capture back-off: once a full assessment window of
+    #: eligible segment visits replays below this hit rate, keying and
+    #: capture stop for the rest of the run (cycles are unaffected —
+    #: replay never changes timing — only the memo bookkeeping cost)
+    memo_breakeven: float = 0.15
+    #: eligible visits per break-even assessment window (0 disables
+    #: the back-off entirely)
+    memo_breakeven_window: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_clusters * self.cluster_size > self.fetch_width:
@@ -108,6 +116,11 @@ class SimConfig:
             raise ConfigError("memo capacity is at least one entry")
         if self.replay_shadow_every < 0:
             raise ConfigError("replay_shadow_every cannot be negative")
+        if not 0.0 <= self.memo_breakeven < 1.0:
+            raise ConfigError("memo_breakeven must be in [0, 1)")
+        if self.memo_breakeven_window < 0:
+            raise ConfigError(
+                "memo_breakeven_window cannot be negative")
 
     # ------------------------------------------------------------------
 

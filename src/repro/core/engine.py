@@ -157,6 +157,21 @@ class Engine:
         self.replay: Optional[ReplayController] = None
         if config.timing_memo and self.trace_cache is not None:
             self.replay = ReplayController(self)
+        #: program image the TRRIP hints were last derived from
+        #: (identity-compared so repeated runs skip the CFG walk).
+        self._hint_source: Optional[Any] = None
+
+    def _install_policy_hints(self, program: Any) -> None:
+        """Feed static temperature hints to a hint-capable trace cache
+        replacement policy (TRRIP), once per program image."""
+        tc = self.trace_cache
+        if tc is None or not hasattr(tc.policy, "set_static_hints"):
+            return
+        if self._hint_source is program:
+            return
+        from repro.cache.hints import static_temperature_hints
+        tc.policy.set_static_hints(static_temperature_hints(program))
+        self._hint_source = program
 
     # ==================================================================
     # The replay loop
@@ -168,15 +183,20 @@ class Engine:
         """Replay *trace* (a :class:`CommittedTrace`) and return the
         per-run statistics.
 
-        *program* (the static image) is only needed when
+        *program* (the static image) is required when
         ``config.model_wrong_path`` is set — wrong-path instructions
-        are decoded from it.
+        are decoded from it — and, when present, also feeds static
+        temperature hints (natural-loop membership joined with
+        instruction mix) to a TRRIP-style trace cache replacement
+        policy.
 
         Raises:
             ConfigError: when wrong-path modeling is requested without
                 a program image.
         """
         config = self.config
+        if program is not None:
+            self._install_policy_hints(program)
         wrong_path: Optional[Any] = None
         if config.model_wrong_path:
             if program is None:

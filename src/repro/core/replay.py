@@ -145,6 +145,49 @@ def _is_cold(stats: List[int]) -> bool:
     return misses >= _COLD_MISSES and hits * _COLD_RATIO <= misses
 
 
+class CaptureBackoff:
+    """Run-level memo profitability guard.
+
+    Keying and capturing visits that never replay is pure overhead:
+    compress's BENCH_8 profile ran *below* break-even (0.9465x at a
+    9.8% hit rate) because almost every eligible group paid the key
+    build and capture without ever hitting. The controller reports
+    every eligible-visit outcome here; when a full assessment window
+    closes with a hit rate under the configured break-even threshold,
+    capture switches off for the remainder of the run. Timing is
+    untouched either way — replay never changes cycles — so backing
+    off only sheds bookkeeping cost.
+    """
+
+    __slots__ = ("threshold", "window", "hits", "visits", "off")
+
+    def __init__(self, threshold: float, window: int) -> None:
+        self.threshold = threshold
+        self.window = window
+        self.hits = 0
+        self.visits = 0
+        self.off = False
+
+    def reset(self) -> None:
+        """New run: re-open the capture window."""
+        self.hits = 0
+        self.visits = 0
+        self.off = False
+
+    def note(self, hit: bool) -> None:
+        """Record one eligible-visit outcome (hit / miss / bypass)."""
+        if self.off or not self.window:
+            return
+        self.visits += 1
+        if hit:
+            self.hits += 1
+        if self.visits >= self.window:
+            if self.hits < self.threshold * self.visits:
+                self.off = True
+            self.hits = 0
+            self.visits = 0
+
+
 @dataclass
 class VisitRecord:
     """Everything one slow-path segment visit did to timing state,
@@ -167,8 +210,10 @@ class VisitRecord:
     fus_post: Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]
     rs_post: Tuple[Tuple[int, ...], ...]
     memsched_delta: Tuple[Any, ...]
-    #: post-visit resident tags per touched cache set
-    cache_posts: Tuple[Tuple[Any, int, Tuple[int, ...]], ...]
+    #: per touched cache set: post-visit ``set_digest`` snapshot
+    #: (recency-ordered resident tags + replacement-policy metadata)
+    cache_posts: Tuple[Tuple[Any, int, Tuple[Tuple[int, ...],
+                                             tuple]], ...]
     #: ``(cell index, delta)`` into the controller's attribute cells
     attr_deltas: Tuple[Tuple[int, int], ...]
     #: ``(live Counter handle, delta)`` per moved telemetry counter
@@ -322,6 +367,9 @@ class ReplayController:
         #: per-segment replay confidence: ``memo_token -> [hits,
         #: misses]``; see :data:`_COLD_MISSES`.
         self._tok_stats: Dict[int, List[int]] = {}
+        #: run-level break-even guard over all eligible visits.
+        self._backoff = CaptureBackoff(config.memo_breakeven,
+                                       config.memo_breakeven_window)
         self._m = MetricBlock(engine.registry, _SCOPES)
         self._g_entries = engine.registry.gauge(
             "engine.replay.memo.entries")
@@ -340,7 +388,9 @@ class ReplayController:
             (ru, "width_stalls"),
             (engine.checkpoints, "stalls"),
             (hier.l1d.stats, "accesses"), (hier.l1d.stats, "hits"),
+            (hier.l1d.stats, "evictions"),
             (hier.l2.stats, "accesses"), (hier.l2.stats, "hits"),
+            (hier.l2.stats, "evictions"),
         )
 
     @property
@@ -361,6 +411,7 @@ class ReplayController:
         # A new run restarts the cycle clock; digests carried over from
         # a previous run on this engine would be stale.
         self._ctx_cache = None
+        self._backoff.reset()
         if engine.spans is not None or engine.events.enabled:
             return False
         if state.accountant is not None or state.timing_hook is not None:
@@ -399,10 +450,17 @@ class ReplayController:
             self._prune_tick = 0
             engine.fus.prune_below(base + 2)
             engine.memsched.prune_stale(base)
+        if self._backoff.off:
+            # The run replayed below break-even for a full window:
+            # skip keying and capture entirely from here on.
+            self._m.bypass.add()
+            self._ctx_cache = None
+            return False
         if group.segment is None or \
                 group.consumed < _MIN_REPLAY_CONSUMED or \
                 engine.memsched.forward_entries() > _FORWARD_GUARD:
             self._m.bypass.add()
+            self._backoff.note(False)
             self._ctx_cache = None
             return False
         stats = self._tok_stats.get(group.segment.memo_token)
@@ -415,6 +473,7 @@ class ReplayController:
             stats[2] += 1
             if stats[2] < stats[3]:
                 self._m.bypass.add()
+                self._backoff.note(False)
                 self._ctx_cache = None
                 return False
             if stats[2] > stats[3]:
@@ -424,6 +483,7 @@ class ReplayController:
         record = self._memo.get(key)
         if record is not None:
             self._m.hit.add()
+            self._backoff.note(True)
             if cold:
                 stats[:] = [1, 0, 0, _PROBE_MIN]    # probe hit: rewarm
             else:
@@ -439,6 +499,7 @@ class ReplayController:
             self._apply(state, group, record)
             return True
         self._m.miss.add()
+        self._backoff.note(False)
         stats[1] += 1
         if cold:
             if stats[2] == 0:   # pair completed without a hit
@@ -766,8 +827,8 @@ class ReplayController:
         engine.fus.restore(base, record.fus_post)
         engine.rs.restore(base, record.rs_post)
         engine.memsched.apply_delta(base, record.memsched_delta)
-        for cache, idx, tags in record.cache_posts:
-            cache.restore_set(idx, tags)
+        for cache, idx, digest in record.cache_posts:
+            cache.restore_set(idx, digest)
         for i, delta in record.attr_deltas:
             obj, name = self._attr_cells[i]
             setattr(obj, name, getattr(obj, name) + delta)

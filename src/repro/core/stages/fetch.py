@@ -293,6 +293,9 @@ class FetchStage(PipelineStage):
             registry.counter("fetch.tc.refreshes").add(tc.refreshes)
             registry.counter("fetch.tc.multipath_hits").add(
                 tc.multipath_hits)
+            registry.counter("fetch.tc.evictions").add(tc.evictions)
+            registry.counter("fetch.tc.dead_evictions").add(
+                tc.dead_evictions)
             registry.gauge("fetch.tc.resident_segments").set(
                 self.trace_cache.resident_segments())
         result.icache_misses = self.hierarchy.l1i.stats.misses

@@ -23,24 +23,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.cache.policy import (
+    POLICY_NAMES,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.errors import ConfigError
 from repro.tracecache.segment import TraceSegment
 
 
 @dataclass
 class TraceCacheConfig:
-    """Geometry of the trace cache."""
+    """Geometry and replacement policy of the trace cache."""
 
     num_sets: int = 512
     assoc: int = 4
     max_instrs: int = 16
     max_cond_branches: int = 3
+    policy: str = "lru"
 
     def __post_init__(self) -> None:
         if self.num_sets <= 0 or self.num_sets & (self.num_sets - 1):
             raise ConfigError("trace cache set count must be a power of two")
         if self.assoc < 1:
             raise ConfigError("trace cache associativity must be >= 1")
+        if self.policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"unknown trace cache replacement policy "
+                f"{self.policy!r}; expected one of "
+                f"{', '.join(POLICY_NAMES)}")
 
     @property
     def num_lines(self) -> int:
@@ -54,6 +65,8 @@ class TraceCacheStats:
     fills: int = 0
     refreshes: int = 0        # identical segment already resident
     multipath_hits: int = 0   # several same-address candidates resident
+    evictions: int = 0        # capacity evictions (policy victims)
+    dead_evictions: int = 0   # evicted without a single lookup hit
 
     @property
     def hit_rate(self) -> float:
@@ -61,18 +74,33 @@ class TraceCacheStats:
 
 
 class TraceCache:
-    """Set-associative storage of trace segments, LRU replacement,
-    path-associative lookup."""
+    """Set-associative storage of trace segments, pluggable
+    replacement, path-associative lookup."""
 
     def __init__(self,
                  config: Optional[TraceCacheConfig] = None) -> None:
         self.config = config if config is not None else TraceCacheConfig()
         self._set_mask = self.config.num_sets - 1
         # set index -> {(start_pc, path_key): TraceSegment},
-        # insertion order == LRU order.
+        # insertion order == recency order.
         self._sets: List[Dict[Tuple[int, tuple], TraceSegment]] = [
             dict() for _ in range(self.config.num_sets)]
+        #: victim selection + metadata (TRRIP reuse history etc.); the
+        #: trace cache runs live on both replay paths, so the policy
+        #: state needs no digest plumbing here — it evolves under the
+        #: exact same lookup/insert sequence either way.
+        self.policy: ReplacementPolicy = make_policy(
+            self.config.policy, self.config.num_sets)
         self.stats = TraceCacheStats()
+        #: (start_pc, path_key) -> lookup hits since its last fill;
+        #: feeds dead-eviction accounting and the reuse report.
+        self._seg_hits: Dict[Tuple[int, tuple], int] = {}
+        #: start_pc -> [fills, hits, evictions, dead evictions],
+        #: aggregated across paths and generations (reuse report).
+        self.reuse_by_pc: Dict[int, List[int]] = {}
+        #: start_pc -> [instrs, cond branches, mem ops], accumulated
+        #: at fill time (instruction-mix axis of the reuse report).
+        self.mix_by_pc: Dict[int, List[int]] = {}
         #: optional telemetry event stream (set by the pipeline when a
         #: Telemetry session is attached); evictions are reported
         #: here. [replay: presentational]
@@ -86,9 +114,20 @@ class TraceCache:
         #: [replay: presentational]
         self._residency: Dict[Tuple[int, tuple], Any] = {}
 
+    def _index_for(self, pc: int) -> int:
+        return (pc >> 2) & self._set_mask
+
     def _set_for(self, pc: int) -> Dict[Tuple[int, tuple],
                                         TraceSegment]:
-        return self._sets[(pc >> 2) & self._set_mask]
+        return self._sets[self._index_for(pc)]
+
+    def _note_reuse(self, pc: int, slot: int) -> None:
+        """Bump one column of the per-pc reuse aggregate."""
+        row = self.reuse_by_pc.get(pc)
+        if row is None:
+            row = [0, 0, 0, 0]
+            self.reuse_by_pc[pc] = row
+        row[slot] += 1
 
     # ------------------------------------------------------------------
 
@@ -120,8 +159,11 @@ class TraceCache:
                                   if score == best]
         key = candidates[-1]            # most recently used best path
         segment = entries.pop(key)
-        entries[key] = segment          # LRU touch
+        entries[key] = segment          # recency touch
+        self.policy.on_hit(self._index_for(pc), key)
         self.stats.hits += 1
+        self._seg_hits[key] = self._seg_hits.get(key, 0) + 1
+        self._note_reuse(pc, 1)
         if self.spans is not None:
             self.spans.instant("tracecache", "tc.reuse", float(now),
                                start_pc=pc, instrs=len(segment.instrs))
@@ -129,17 +171,19 @@ class TraceCache:
 
     def probe(self, pc: int, path_key: Optional[tuple] = None
               ) -> Optional[TraceSegment]:
-        """Non-stats, non-LRU lookup.
+        """Non-stats, non-recency lookup.
 
-        With *path_key*, the exact segment; without, any resident
-        segment starting at *pc* (tests, diagnostics).
+        With *path_key*, the exact segment; without, the most recently
+        used resident segment starting at *pc* — the same tie-break
+        :meth:`lookup` applies among equally-scored candidates (tests,
+        diagnostics).
         """
         entries = self._set_for(pc)
         if path_key is not None:
             return entries.get((pc, path_key))
-        for key, segment in entries.items():
+        for key in reversed(entries):
             if key[0] == pc:
-                return segment
+                return entries[key]
         return None
 
     def touch(self, pc: int, path_key: tuple) -> None:
@@ -149,6 +193,7 @@ class TraceCache:
         key = (pc, path_key)
         if key in entries:
             entries[key] = entries.pop(key)
+            self.policy.on_hit(self._index_for(pc), key)
             self.stats.refreshes += 1
 
     def insert(self, segment: TraceSegment, now: int,
@@ -161,17 +206,29 @@ class TraceCache:
         """
         segment.validate(self.config.max_instrs,
                          self.config.max_cond_branches)
-        entries = self._set_for(segment.start_pc)
+        index = self._index_for(segment.start_pc)
+        entries = self._sets[index]
         key = (segment.start_pc, segment.path_key)
         if key in entries:
             # Same path resident: replace its content (e.g. the branch
-            # promotion state or annotations changed) with a fresh fill.
+            # promotion state or annotations changed) with a fresh
+            # fill. The policy sees a generation boundary (evict +
+            # insert) so TRRIP's reuse history closes the old life,
+            # but it is not a capacity eviction — stats stay quiet.
             entries.pop(key)
+            self.policy.on_evict(index, key)
+            self._seg_hits.pop(key, None)
             if self.spans is not None:
                 self._end_residency(key, now)
         elif len(entries) >= self.config.assoc:
-            victim_key = next(iter(entries))
-            entries.pop(victim_key)             # evict LRU
+            victim_key = self.policy.victim(index, entries)
+            entries.pop(victim_key)
+            self.policy.on_evict(index, victim_key)
+            self.stats.evictions += 1
+            if self._seg_hits.pop(victim_key, 0) == 0:
+                self.stats.dead_evictions += 1
+                self._note_reuse(victim_key[0], 3)
+            self._note_reuse(victim_key[0], 2)
             if self.spans is not None:
                 self._end_residency(victim_key, now)
                 self.spans.instant("tracecache", "tc.evict", float(now),
@@ -183,6 +240,10 @@ class TraceCache:
                                  for_pc=segment.start_pc)
         segment.fill_cycle = now + fill_latency
         entries[key] = segment
+        self.policy.on_insert(index, key)
+        self._seg_hits[key] = 0
+        self._note_reuse(segment.start_pc, 0)
+        self._note_mix(segment)
         self.stats.fills += 1
         if self.spans is not None:
             fill_cycle = float(segment.fill_cycle)
@@ -193,6 +254,19 @@ class TraceCache:
                 "tracecache", "tc.residency", fill_cycle,
                 start_pc=segment.start_pc, instrs=len(segment.instrs))
 
+    def _note_mix(self, segment: TraceSegment) -> None:
+        """Accumulate the instruction-type mix of a fill by start pc."""
+        row = self.mix_by_pc.get(segment.start_pc)
+        if row is None:
+            row = [0, 0, 0]
+            self.mix_by_pc[segment.start_pc] = row
+        row[0] += len(segment.instrs)
+        for instr in segment.instrs:
+            if instr.is_cond_branch():
+                row[1] += 1
+            elif instr.is_mem():
+                row[2] += 1
+
     def _end_residency(self, key: Tuple[int, tuple],
                        now: int) -> None:
         """Close the open residency span for *key*, if any."""
@@ -202,15 +276,20 @@ class TraceCache:
 
     def invalidate(self, pc: int) -> int:
         """Drop every path starting at *pc*; returns how many."""
-        entries = self._set_for(pc)
+        index = self._index_for(pc)
+        entries = self._sets[index]
         victims = [key for key in entries if key[0] == pc]
         for key in victims:
             del entries[key]
+            self.policy.on_evict(index, key)
+            self._seg_hits.pop(key, None)
         return len(victims)
 
     def flush(self) -> None:
         for entries in self._sets:
             entries.clear()
+        self.policy.on_flush()
+        self._seg_hits.clear()
 
     def resident_segments(self) -> int:
         return sum(len(entries) for entries in self._sets)

@@ -43,11 +43,13 @@ def _non_default_config() -> SimConfig:
         hierarchy=HierarchyConfig(
             l1i_size=2048, l1i_assoc=2, l1i_line=16, l1d_size=8192,
             l1d_assoc=2, l1d_line=16, l2_size=131072, l2_assoc=4,
-            l2_line=32, l2_latency=8, memory_latency=80),
+            l2_line=32, l2_latency=8, memory_latency=80,
+            policy="srrip"),
         store_forward_window=64,
         trace_cache_enabled=False,
         trace_cache=TraceCacheConfig(
-            num_sets=64, assoc=2, max_instrs=8, max_cond_branches=2),
+            num_sets=64, assoc=2, max_instrs=8, max_cond_branches=2,
+            policy="trrip"),
         trace_packing=False,
         fill_latency=7,
         optimizations=OptimizationConfig(
@@ -59,6 +61,8 @@ def _non_default_config() -> SimConfig:
         timing_memo=False,
         memo_capacity=512,
         replay_shadow_every=3,
+        memo_breakeven=0.25,
+        memo_breakeven_window=256,
     )
 
 
@@ -121,3 +125,31 @@ def test_invalid_values_still_validated():
     payload["fill_latency"] = 0
     with pytest.raises(ConfigError):
         SimConfig.from_dict(payload)
+
+
+def test_policy_round_trips_both_knobs():
+    config = SimConfig(
+        trace_cache=TraceCacheConfig(policy="trrip"),
+        hierarchy=HierarchyConfig(policy="srrip"))
+    rebuilt = SimConfig.from_dict(config.to_dict())
+    assert rebuilt.trace_cache.policy == "trrip"
+    assert rebuilt.hierarchy.policy == "srrip"
+    assert rebuilt == config
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigError, match="replacement policy"):
+        TraceCacheConfig(policy="plru")
+    with pytest.raises(ConfigError, match="replacement policy"):
+        HierarchyConfig(policy="random")
+    payload = SimConfig().to_dict()
+    payload["hierarchy"]["policy"] = "clock"
+    with pytest.raises(ConfigError, match="replacement policy"):
+        SimConfig.from_dict(payload)
+
+
+def test_breakeven_knobs_validated():
+    with pytest.raises(ConfigError, match="memo_breakeven"):
+        SimConfig(memo_breakeven=1.0)
+    with pytest.raises(ConfigError, match="memo_breakeven_window"):
+        SimConfig(memo_breakeven_window=-1)

@@ -83,6 +83,30 @@ def test_seed_cycles_preserved_with_memo(bench, cycles):
     assert r_on.telemetry.get("engine.replay.hit", 0) > 0
 
 
+@pytest.mark.parametrize("policy", ["lru", "srrip", "trrip"])
+@pytest.mark.parametrize("bench", ["compress", "li"])
+def test_memo_bit_identical_under_every_policy(bench, policy):
+    """Replacement-policy metadata is timing state that rides inside
+    the cache digests; with any policy enabled the memo must still be
+    bit-for-bit against the slow path. The program is passed so TRRIP
+    gets its static temperature hints on both paths."""
+    program = workloads.build(bench, scale=0.2)
+    trace = _trace(bench, 0.2)
+    config = SimConfig.tiny(OptimizationConfig.all())
+    config = dataclasses.replace(
+        config,
+        trace_cache=dataclasses.replace(config.trace_cache,
+                                        policy=policy),
+        hierarchy=dataclasses.replace(config.hierarchy, policy=policy))
+    off = dataclasses.replace(config, timing_memo=False)
+    r_off = PipelineModel(off).run(trace, benchmark=bench,
+                                   label="memo-off", program=program)
+    r_on = PipelineModel(config).run(trace, benchmark=bench,
+                                     label="memo-on", program=program)
+    assert r_on.cycles == r_off.cycles
+    assert _comparable(r_on) == _comparable(r_off)
+
+
 def test_shadow_mode_checks_and_stays_clean():
     """With ``replay_shadow_every=1`` every would-be replay re-runs
     the slow path and asserts the fresh capture equals the memoized

@@ -53,11 +53,13 @@ def test_memory_scheduler_counters_and_timing_split():
 
 def test_attr_cells_statically_resolved():
     cells = extract_attr_cells()
-    assert len(cells) == 13
+    assert len(cells) == 15
     assert "memsched.loads" in cells
     assert "bypass.crossings" in cells
     assert "hierarchy.l1d.stats.accesses" in cells
     assert "hierarchy.l2.stats.hits" in cells
+    assert "hierarchy.l1d.stats.evictions" in cells
+    assert "hierarchy.l2.stats.evictions" in cells
     # The L1I runs live on both paths, so its counters must *not* be
     # delta cells.
     assert not any(cell.startswith("hierarchy.l1i") for cell in cells)

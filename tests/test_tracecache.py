@@ -197,6 +197,26 @@ def test_lru_eviction_within_set():
     assert tc.probe(0x3000) is not None
 
 
+def test_probe_without_path_key_returns_mru_match():
+    """``probe(pc)`` must agree with ``lookup``'s tie-break: among
+    resident segments starting at *pc*, the most recently used wins —
+    not the oldest-inserted one."""
+    tc = make_tc()
+    taken = make_segment(0x1000, branch_at={1}, direction=True)
+    fallthrough = make_segment(0x1000, branch_at={1}, direction=False)
+    fallthrough.instrs[2].pc = 0x1100
+    tc.insert(taken, now=0)
+    tc.insert(fallthrough, now=0)
+    # fallthrough was installed last, hence is MRU.
+    assert tc.probe(0x1000) is tc.probe(0x1000, fallthrough.path_key)
+    # Touching the taken path makes it MRU; probe must follow.
+    tc.touch(0x1000, taken.path_key)
+    assert tc.probe(0x1000) is tc.probe(0x1000, taken.path_key)
+    # lookup's equal-score tie-break agrees with probe's answer.
+    assert tc.lookup(0x1000, now=1, chooser=lambda seg: 1) \
+        is tc.probe(0x1000, taken.path_key)
+
+
 def test_invalidate_drops_all_paths():
     tc = make_tc()
     a = make_segment(0x1000, branch_at={1}, direction=True)

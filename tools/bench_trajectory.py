@@ -12,15 +12,20 @@ scale with the host-time profiler attached and records, per benchmark:
   gate transfers across machines of different speeds;
 * ``stage_shares`` — per-pipeline-stage host-time fractions from the
   :class:`~repro.telemetry.hostprof.HostProfiler`;
-* ``reuse`` — trace-cache/segment reuse statistics;
+* ``reuse`` — trace-cache/segment reuse statistics (schema 3 adds
+  the eviction counters: total and dead — never-rehit — evictions);
 * ``replay`` (schema 2) — timing-memo behavior: hit/miss/bypass
   counts and rates, invalidations, memo footprint, and the measured
-  speedup of the memo-on run over a memo-off run of the same trace.
+  speedup of the memo-on run over a memo-off run of the same trace;
+* ``policies`` (schema 3) — one single-repeat run per replacement
+  policy (lru/srrip/trrip on both cache layers) recording cycles and
+  the per-policy reuse/eviction profile. The ``lru`` leg must match
+  the main entry's cycles exactly.
 
 Usage:
-    python tools/bench_trajectory.py --out BENCH_8.json
+    python tools/bench_trajectory.py --out BENCH_10.json
     python tools/bench_trajectory.py --out /tmp/now.json \\
-        --check BENCH_8.json --tolerance 0.10
+        --check BENCH_10.json --tolerance 0.10
 
 ``--check`` exits nonzero when any benchmark's cycle count differs
 from the baseline or its normalized wall time regressed by more than
@@ -39,8 +44,10 @@ import time
 
 #: 1 — cycles / wall / stage shares / reuse (BENCH_6.json).
 #: 2 — adds the per-benchmark ``replay`` block (BENCH_8.json).
-TRAJECTORY_SCHEMA_VERSION = 2
-_READABLE_SCHEMAS = (1, 2)
+#: 3 — adds eviction counters to ``reuse`` and the per-policy
+#:     ``policies`` block (BENCH_10.json).
+TRAJECTORY_SCHEMA_VERSION = 3
+_READABLE_SCHEMAS = (1, 2, 3)
 BENCHMARKS = ("compress", "li")
 DEFAULT_SCALE = 0.5
 DEFAULT_TOLERANCE = 0.10
@@ -127,6 +134,48 @@ def _replay_block(result, slow_wall: float, fast_wall: float) -> dict:
     }
 
 
+def _policy_block(trace, program, name: str,
+                  lru_cycles: int) -> dict:
+    """The schema-3 per-policy reuse profile: one memo-on run per
+    replacement policy, both cache layers switched together. The
+    program rides along so TRRIP's static temperature hints install
+    exactly as they do under ``repro run --policy trrip``."""
+    import dataclasses
+
+    from repro.cache.policy import POLICY_NAMES
+    from repro.core.config import SimConfig
+    from repro.core.engine import Engine
+    from repro.fillunit.opts.base import OptimizationConfig
+
+    block = {}
+    for policy in POLICY_NAMES:
+        config = SimConfig.paper(OptimizationConfig.all())
+        config = dataclasses.replace(
+            config,
+            trace_cache=dataclasses.replace(config.trace_cache,
+                                            policy=policy),
+            hierarchy=dataclasses.replace(config.hierarchy,
+                                          policy=policy))
+        eng = Engine(config)
+        res = eng.run(trace, benchmark=name, label=f"policy-{policy}",
+                      program=program)
+        stats = eng.trace_cache.stats
+        if policy == "lru" and res.cycles != lru_cycles:
+            raise AssertionError(
+                f"{name}: lru policy leg diverged from the main run "
+                f"({res.cycles} vs {lru_cycles}); TrueLRU must be "
+                f"bit-for-bit the seed behaviour")
+        block[policy] = {
+            "cycles": res.cycles,
+            "tc_hit_rate": round(stats.hit_rate, 4),
+            "tc_evictions": stats.evictions,
+            "tc_dead_evictions": stats.dead_evictions,
+            "l1d_evictions": eng.hierarchy.l1d.stats.evictions,
+            "l2_evictions": eng.hierarchy.l2.stats.evictions,
+        }
+    return block
+
+
 def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
                       repeats: int = 3) -> dict:
     """One benchmark's trajectory entry (see module docstring)."""
@@ -157,10 +206,13 @@ def measure_benchmark(name: str, scale: float = DEFAULT_SCALE,
             "tc_lookups": stats.lookups,
             "tc_hits": stats.hits,
             "tc_hit_rate": round(stats.hit_rate, 4),
+            "tc_evictions": stats.evictions,
+            "tc_dead_evictions": stats.dead_evictions,
             "segments_built": fill.segments_built,
             "segments_deduped": fill.segments_deduped,
         },
         "replay": _replay_block(result, slow_wall, best_wall),
+        "policies": _policy_block(trace, program, name, result.cycles),
     }
 
 
@@ -251,6 +303,13 @@ def render(payload: dict) -> str:
                 f"memo={replay['memo_entries']} entries "
                 f"(~{replay['memo_approx_bytes'] // 1024} KiB) "
                 f"speedup={replay['speedup']:.2f}x vs slow path")
+        policies = entry.get("policies")
+        if policies:
+            lines.append("  " + " " * 10 + " policies: " + "  ".join(
+                f"{policy} {p['cycles']}cy "
+                f"tc={100 * p['tc_hit_rate']:.1f}% "
+                f"ev={p['tc_evictions']}/{p['tc_dead_evictions']}"
+                for policy, p in policies.items()))
     return "\n".join(lines)
 
 

@@ -1,0 +1,134 @@
+"""Sweep replacement policies across workloads through the exec grid.
+
+For every (policy, benchmark) pair the paper-configuration machine is
+run with the policy applied to *both* the trace cache and the memory
+hierarchy, and the matrix reports cycles, IPC, trace-cache hit rate
+and the per-policy eviction/reuse telemetry (total and dead — never
+rehit — trace-cache evictions).
+
+Jobs go through :class:`~repro.exec.ExecutionService`, so sweeps
+parallelise with ``--jobs N`` and replay from the content-addressed
+cache with ``--cache-dir``.
+
+Usage::
+
+    PYTHONPATH=src python tools/policy_sweep.py [scale]
+        [--policies lru,srrip,trrip] [--benchmarks compress,li,...]
+        [--jobs N] [--cache-dir DIR] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from repro import workloads
+from repro.cache.policy import POLICY_NAMES
+from repro.core.config import SimConfig
+from repro.core.results import SimResult
+from repro.exec import ExecutionService
+from repro.exec.grid import JobSpec, expand
+from repro.fillunit.opts.base import OptimizationConfig
+
+
+def policy_config(policy: str, fill_latency: int = 5) -> SimConfig:
+    """The paper machine with *policy* on both cache layers."""
+    config = SimConfig.paper(OptimizationConfig.all(), fill_latency)
+    return dataclasses.replace(
+        config,
+        trace_cache=dataclasses.replace(config.trace_cache,
+                                        policy=policy),
+        hierarchy=dataclasses.replace(config.hierarchy, policy=policy))
+
+
+def sweep(service: ExecutionService, benchmarks: List[str],
+          policies: List[str]) -> Dict[Tuple[str, str], SimResult]:
+    jobs: List[JobSpec] = expand(
+        benchmarks, [(policy, policy_config(policy))
+                     for policy in policies])
+    results = service.run_many(jobs)
+    return {(job.benchmark, job.label): result
+            for job, result in zip(jobs, results)}
+
+
+def _row(result: SimResult) -> Dict[str, object]:
+    tel = result.telemetry
+    lookups = result.tc_lookups or 1
+    return {
+        "cycles": result.cycles,
+        "ipc": round(result.instructions / result.cycles, 4),
+        "tc_hit_rate": round(result.tc_hits / lookups, 4),
+        "tc_evictions": tel.get("fetch.tc.evictions", 0),
+        "tc_dead_evictions": tel.get("fetch.tc.dead_evictions", 0),
+    }
+
+
+def render(matrix: Dict[Tuple[str, str], SimResult],
+           benchmarks: List[str], policies: List[str]) -> str:
+    lines = []
+    header = (f"{'benchmark':<14}" + "".join(
+        f"{p + ' cycles':>14}{p + ' ipc':>12}{p + ' tc%':>10}"
+        f"{p + ' ev/dead':>12}" for p in policies))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for bench in benchmarks:
+        cells = [f"{bench:<14}"]
+        for policy in policies:
+            row = _row(matrix[(bench, policy)])
+            cells.append(f"{row['cycles']:>14}{row['ipc']:>12.4f}"
+                         f"{100 * row['tc_hit_rate']:>9.1f}%"
+                         f"{row['tc_evictions']:>7}/"
+                         f"{row['tc_dead_evictions']:<4}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def parse_args(argv: Optional[List[str]] = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="replacement-policy x workload sweep")
+    parser.add_argument("scale", nargs="?", type=float, default=0.5,
+                        help="workload scale factor (default 0.5)")
+    parser.add_argument("--policies", default=",".join(POLICY_NAMES),
+                        help="comma-separated policy names")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmarks "
+                             "(default: all workloads)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the grid")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed result cache directory")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write the matrix as JSON")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = parse_args(argv)
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    benchmarks = ([b.strip() for b in args.benchmarks.split(",")]
+                  if args.benchmarks else workloads.names())
+    service = ExecutionService(scale=args.scale, jobs=args.jobs,
+                               cache_dir=args.cache_dir)
+    matrix = sweep(service, benchmarks, policies)
+    print(render(matrix, benchmarks, policies))
+    if args.json_out:
+        payload = {
+            "scale": args.scale,
+            "policies": policies,
+            "benchmarks": benchmarks,
+            "results": {f"{bench}/{policy}":
+                        _row(matrix[(bench, policy)])
+                        for bench in benchmarks for policy in policies},
+        }
+        out = pathlib.Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                       + "\n")
+        print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()
